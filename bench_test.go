@@ -1,0 +1,267 @@
+package repro
+
+// The benchmark harness regenerates every table and figure of the paper's
+// evaluation (DESIGN.md E1–E14) and measures the substrate costs underneath
+// them. Benchmarks run at the tiny scale so `go test -bench=.` completes in
+// seconds; `cmd/experiments -scale small|paper` produces the full-size runs
+// recorded in EXPERIMENTS.md.
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dns"
+	"repro/internal/hosting"
+	"repro/internal/sandbox"
+)
+
+var (
+	benchOnce sync.Once
+	benchEnv  *Env
+	benchErr  error
+)
+
+func benchSetup(b *testing.B) *Env {
+	b.Helper()
+	benchOnce.Do(func() {
+		benchEnv, benchErr = NewEnv(context.Background(), TinyScale(), 7)
+	})
+	if benchErr != nil {
+		b.Fatalf("env: %v", benchErr)
+	}
+	return benchEnv
+}
+
+// BenchmarkWorldGeneration measures standing up the whole simulated
+// Internet (providers, delegations, attacker campaign, sandbox corpus).
+func BenchmarkWorldGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		w, err := GenerateWorld(TinyScale(), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = w
+	}
+}
+
+// BenchmarkTable1Pipeline regenerates Table 1: the full URHunter pipeline —
+// correct/protective collection, the nameserver sweep, determination, and
+// malicious-behaviour analysis.
+func BenchmarkTable1Pipeline(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	var res *Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		res, err = NewPipeline(env.World).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	rows := res.Table1()
+	b.ReportMetric(float64(rows[2].URs), "suspicious-urs")
+	b.ReportMetric(float64(res.Queries), "dns-queries")
+	b.ReportMetric(100*ratio(rows[2].MaliciousURs, rows[2].URs), "malicious-%")
+}
+
+// BenchmarkFigure2VendorClassification regenerates Figure 2 from a
+// classified result.
+func BenchmarkFigure2VendorClassification(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if len(env.Result.Figure2(5)) == 0 {
+			b.Fatal("empty figure2")
+		}
+	}
+}
+
+// BenchmarkFigure3Analyses regenerates the four panels of Figure 3.
+func BenchmarkFigure3Analyses(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = env.Result.Figure3a()
+		_ = env.Result.Figure3b()
+		_ = env.Result.Figure3c()
+		_ = env.Result.Figure3d()
+	}
+	b.StopTimer()
+	f3a := env.Result.Figure3a()
+	b.ReportMetric(float64(f3a.Total()), "malicious-ips")
+}
+
+// BenchmarkTXTShare regenerates the §5.2 email-record statistic.
+func BenchmarkTXTShare(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	var email, mal int
+	for i := 0; i < b.N; i++ {
+		email, mal = env.Result.TXTEmailShare()
+	}
+	b.StopTimer()
+	if mal > 0 {
+		b.ReportMetric(100*float64(email)/float64(mal), "email-%")
+	}
+}
+
+// BenchmarkTable2ProviderAudit regenerates Table 2: the Appendix C policy
+// audit across the seven providers.
+func BenchmarkTable2ProviderAudit(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := AuditProviders(hosting.AppendixCPresets(), int64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 7 {
+			b.Fatalf("rows = %d", len(rows))
+		}
+	}
+}
+
+// BenchmarkCaseStudySandbox re-runs the §5.3 malware corpus (Dark.IoT,
+// Specter, and the SPF families) through the sandbox.
+func BenchmarkCaseStudySandbox(b *testing.B) {
+	env := benchSetup(b)
+	w := env.World
+	samples := append(append(append([]*sandbox.Sample{}, w.Case.DarkIoTSamples...),
+		w.Case.SpecterSamples...), w.Case.SPFSamples...)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, s := range samples {
+			rep := w.Sandbox.Run(s)
+			if len(rep.Flows) == 0 {
+				b.Fatal("no flows")
+			}
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(samples)), "samples")
+}
+
+// BenchmarkFalseNegativeCheck regenerates the §4.2 validation.
+func BenchmarkFalseNegativeCheck(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	var fn int
+	for i := 0; i < b.N; i++ {
+		var err error
+		_, fn, err = env.Pipe.FalseNegativeCheck(context.Background(), env.Result)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(fn), "false-negatives")
+}
+
+// BenchmarkDefenseBypass regenerates the §3 threat-model evaluation.
+func BenchmarkDefenseBypass(b *testing.B) {
+	env := benchSetup(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f, err := ExpBypass(context.Background(), env)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if f.Metrics["default_c2_reached"] != 1 {
+			b.Fatal("bypass failed")
+		}
+	}
+}
+
+// BenchmarkDeterminerConditions is the E14 ablation bench: the exclusion
+// stage over the collected UR set with all conditions on vs off.
+func BenchmarkDeterminerConditions(b *testing.B) {
+	env := benchSetup(b)
+	urs := env.Result.URs
+	cfg := env.World.URHunterConfig()
+
+	run := func(b *testing.B, mut func(*core.Determiner)) {
+		for i := 0; i < b.N; i++ {
+			det := core.NewDeterminer(cfg, env.Result.Correct, env.Result.Protective)
+			if mut != nil {
+				mut(det)
+			}
+			// classify mutates; work on copies.
+			batch := make([]*core.UR, len(urs))
+			for j, u := range urs {
+				c := *u
+				c.Category = core.CategoryUnknown
+				c.Reason = core.ReasonNone
+				batch[j] = &c
+			}
+			_ = det.Determine(batch)
+		}
+	}
+	b.Run("all-conditions", func(b *testing.B) { run(b, nil) })
+	b.Run("no-pdns", func(b *testing.B) {
+		run(b, func(d *core.Determiner) { d.UsePDNS = false })
+	})
+	b.Run("subset-only", func(b *testing.B) {
+		run(b, func(d *core.Determiner) { d.UsePDNS = false; d.UseHTTPFilter = false })
+	})
+}
+
+// --- substrate microbenches ----------------------------------------------
+
+// BenchmarkDNSPackUnpack measures the wire codec on a realistic referral
+// response.
+func BenchmarkDNSPackUnpack(b *testing.B) {
+	m := dns.NewQuery(1, "www.example.com", dns.TypeA).Reply()
+	m.Answers = append(m.Answers,
+		dns.MustParseRR("www.example.com 300 IN CNAME example.com"),
+		dns.MustParseRR("example.com 300 IN A 192.0.2.10"))
+	m.Authority = append(m.Authority,
+		dns.MustParseRR("example.com 86400 IN NS ns1.hosting.test"),
+		dns.MustParseRR("example.com 86400 IN NS ns2.hosting.test"))
+	m.Additional = append(m.Additional,
+		dns.MustParseRR("ns1.hosting.test 86400 IN A 198.51.100.1"))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err := m.Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dns.Unpack(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCollectorSweep measures the §4.1 nameserver sweep alone.
+func BenchmarkCollectorSweep(b *testing.B) {
+	env := benchSetup(b)
+	cfg := env.World.URHunterConfig()
+	b.ResetTimer()
+	var urs []*core.UR
+	for i := 0; i < b.N; i++ {
+		col := core.NewCollector(cfg)
+		var err error
+		urs, err = col.CollectURs(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(len(urs)), "urs")
+}
+
+// BenchmarkRecursiveResolution measures full iterative resolution through
+// the simulated hierarchy (cold cache each iteration).
+func BenchmarkRecursiveResolution(b *testing.B) {
+	env := benchSetup(b)
+	targets := env.World.Targets
+	rec := env.World.Resolvers.Resolvers[0].Resolver()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		name := targets[i%len(targets)]
+		if _, err := rec.Resolve(context.Background(), name, dns.TypeA); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,139 @@
+// Command dnsq is a dig-like query tool built on the library's DNS stack.
+// It queries real DNS servers over UDP with TCP fallback, using the same
+// codec and client the measurement pipeline uses.
+//
+// Usage:
+//
+//	dnsq @server:port name [type]     query a server
+//	dnsq -demo [name [type]]          start an in-process authoritative
+//	                                  server on loopback, query it, exit
+//
+// The -demo mode is a self-contained proof that the stack speaks genuine
+// wire-format DNS over real sockets: it serves a small zone (including an
+// oversized TXT record that forces the TCP fallback) and prints both
+// exchanges.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"strings"
+
+	"repro/internal/authority"
+	"repro/internal/dns"
+	"repro/internal/dnsio"
+	"repro/internal/zone"
+)
+
+func main() {
+	demo := flag.Bool("demo", false, "serve and query a demo zone on loopback")
+	flag.Parse()
+	args := flag.Args()
+
+	if *demo {
+		if err := runDemo(args); err != nil {
+			fmt.Fprintf(os.Stderr, "dnsq: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	if len(args) < 2 || !strings.HasPrefix(args[0], "@") {
+		fmt.Fprintln(os.Stderr, "usage: dnsq @server:port name [type] | dnsq -demo")
+		os.Exit(2)
+	}
+	serverArg := strings.TrimPrefix(args[0], "@")
+	server, err := netip.ParseAddrPort(serverArg)
+	if err != nil {
+		// Bare address: default to port 53.
+		addr, aerr := netip.ParseAddr(serverArg)
+		if aerr != nil {
+			fmt.Fprintf(os.Stderr, "dnsq: bad server address: %v\n", err)
+			os.Exit(2)
+		}
+		server = netip.AddrPortFrom(addr, 53)
+	}
+	name, qtype, err := parseNameType(args[1:])
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "dnsq: %v\n", err)
+		os.Exit(2)
+	}
+	if err := query(server, name, qtype); err != nil {
+		fmt.Fprintf(os.Stderr, "dnsq: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parseNameType(args []string) (dns.Name, dns.Type, error) {
+	name, err := dns.ParseName(args[0])
+	if err != nil {
+		return dns.Root, dns.TypeNone, err
+	}
+	qtype := dns.TypeA
+	if len(args) > 1 {
+		qtype, err = dns.ParseType(strings.ToUpper(args[1]))
+		if err != nil {
+			return dns.Root, dns.TypeNone, err
+		}
+	}
+	return name, qtype, nil
+}
+
+func query(server netip.AddrPort, name dns.Name, qtype dns.Type) error {
+	client := dnsio.NewClient(&dnsio.NetTransport{})
+	resp, err := client.Query(context.Background(), server, name, qtype)
+	if err != nil {
+		return err
+	}
+	fmt.Print(resp.Summary())
+	return nil
+}
+
+func runDemo(args []string) error {
+	z, err := zone.Parse("demo.test", `
+demo.test 3600 IN SOA ns1.demo.test hostmaster.demo.test 1 7200 3600 1209600 300
+demo.test 3600 IN NS ns1.demo.test
+demo.test 300 IN A 192.0.2.80
+demo.test 300 IN TXT "v=spf1 ip4:192.0.2.80 -all"
+www.demo.test 300 IN CNAME demo.test
+big.demo.test 300 IN TXT "`+strings.Repeat("x", 250)+`" "`+strings.Repeat("y", 250)+`" "`+strings.Repeat("z", 250)+`"
+`)
+	if err != nil {
+		return err
+	}
+	srv := authority.NewServer()
+	if err := srv.AddZone(z); err != nil {
+		return err
+	}
+	netSrv := dnsio.NewServer(srv)
+	if err := netSrv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	defer netSrv.Close()
+	fmt.Printf(";; demo authoritative server on udp/tcp %s\n\n", netSrv.UDPAddr())
+
+	queries := [][2]string{{"demo.test", "A"}, {"www.demo.test", "A"},
+		{"demo.test", "TXT"}, {"big.demo.test", "TXT"}}
+	if len(args) > 0 {
+		name, qtype, err := parseNameType(args)
+		if err != nil {
+			return err
+		}
+		queries = [][2]string{{string(name), qtype.String()}}
+	}
+	for _, q := range queries {
+		name, qtype, err := parseNameType([]string{q[0], q[1]})
+		if err != nil {
+			return err
+		}
+		fmt.Printf(";; query %s %s\n", name.String(), qtype)
+		if err := query(netSrv.UDPAddr(), name, qtype); err != nil {
+			return err
+		}
+		fmt.Println()
+	}
+	return nil
+}

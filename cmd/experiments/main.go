@@ -1,0 +1,90 @@
+// Command experiments regenerates the paper's tables and figures
+// (DESIGN.md E1–E14) and prints paper-vs-measured findings. The output of
+// `experiments -scale small` is the data recorded in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	experiments [-scale tiny|small|paper] [-seed N] [-exp id,id|all] [-list]
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	scaleName := flag.String("scale", "small", "world scale: tiny, small, or paper")
+	seed := flag.Int64("seed", 42, "world generation seed")
+	expList := flag.String("exp", "all", "comma-separated experiment ids, or 'all'")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	mdOut := flag.String("md", "", "also write the findings as Markdown to this file")
+	flag.Parse()
+
+	if *list {
+		for _, e := range repro.Experiments() {
+			fmt.Printf("%-15s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale, ok := repro.ScaleByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	var selected []repro.Experiment
+	if *expList == "all" {
+		selected = repro.Experiments()
+	} else {
+		for _, id := range strings.Split(*expList, ",") {
+			e, ok := repro.ExperimentByID(strings.TrimSpace(id))
+			if !ok {
+				fmt.Fprintf(os.Stderr, "experiments: unknown experiment %q (try -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, e)
+		}
+	}
+
+	start := time.Now()
+	fmt.Printf("generating %s world (seed %d) and running URHunter...\n", scale.Name, *seed)
+	env, err := repro.NewEnv(context.Background(), scale, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "experiments: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("environment ready in %v: %d URs collected, %d suspicious, %d queries\n\n",
+		time.Since(start).Round(time.Millisecond),
+		len(env.Result.URs), len(env.Result.Suspicious), env.Result.Queries)
+
+	failed := 0
+	var findings []*repro.Findings
+	for _, e := range selected {
+		f, err := e.Run(context.Background(), env)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", e.ID, err)
+			failed++
+			continue
+		}
+		findings = append(findings, f)
+		fmt.Print(f.Render())
+		fmt.Println()
+	}
+	if *mdOut != "" {
+		if err := os.WriteFile(*mdOut, []byte(repro.RenderFindingsMarkdown(findings)), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: write markdown: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote Markdown findings to %s\n", *mdOut)
+	}
+	if failed > 0 {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,95 @@
+// Command urserve exposes nameservers from a generated world on real
+// UDP/TCP sockets, so any stock DNS client (dig, kdig, the cmd/dnsq tool)
+// can query the simulated Internet — including the attacker's undelegated
+// records.
+//
+// Usage:
+//
+//	urserve [-scale tiny] [-seed N] [-provider ClouDNS] [-listen 127.0.0.1:5533] [-n 1]
+//
+// Example session:
+//
+//	$ go run ./cmd/urserve -provider ClouDNS &
+//	$ dig @127.0.0.1 -p 5533 ibm.com A        # returns the Specter C2 UR
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/signal"
+	"strconv"
+	"syscall"
+
+	"repro"
+	"repro/internal/dnsio"
+)
+
+func main() {
+	scaleName := flag.String("scale", "tiny", "world scale: tiny, small, or paper")
+	seed := flag.Int64("seed", 42, "world generation seed")
+	providerName := flag.String("provider", "ClouDNS", "provider whose nameservers to expose")
+	listen := flag.String("listen", "127.0.0.1:5533", "base listen address (port increments per server)")
+	count := flag.Int("n", 1, "how many of the provider's nameservers to expose")
+	flag.Parse()
+
+	scale, ok := repro.ScaleByName(*scaleName)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "urserve: unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+	world, err := repro.GenerateWorld(scale, *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "urserve: %v\n", err)
+		os.Exit(1)
+	}
+	provider, ok := world.ProviderByName[*providerName]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "urserve: unknown provider %q; available:\n", *providerName)
+		for _, p := range world.Providers {
+			fmt.Fprintf(os.Stderr, "  %s\n", p.Name)
+		}
+		os.Exit(2)
+	}
+
+	host, portStr, err := net.SplitHostPort(*listen)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "urserve: bad listen address: %v\n", err)
+		os.Exit(2)
+	}
+	port, err := strconv.Atoi(portStr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "urserve: bad port: %v\n", err)
+		os.Exit(2)
+	}
+
+	nameservers := provider.Nameservers()
+	if *count > len(nameservers) {
+		*count = len(nameservers)
+	}
+	var servers []*dnsio.Server
+	for i := 0; i < *count; i++ {
+		ns := nameservers[i]
+		srv := dnsio.NewServer(ns.Server())
+		addr := net.JoinHostPort(host, strconv.Itoa(port+i))
+		if err := srv.Start(addr); err != nil {
+			fmt.Fprintf(os.Stderr, "urserve: listen %s: %v\n", addr, err)
+			os.Exit(1)
+		}
+		servers = append(servers, srv)
+		fmt.Printf("%s (%s in the simulation) now answering on udp/tcp %s\n",
+			ns.Host.String(), ns.Addr, srv.UDPAddr())
+	}
+	fmt.Printf("\n%d hosted domains on %s; try:\n", len(provider.HostedDomains()), provider.Name)
+	fmt.Printf("  dig @%s -p %d ibm.com A\n", host, port)
+	fmt.Printf("  dig @%s -p %d speedtest.net TXT\n", host, port)
+	fmt.Println("\nctrl-c to stop")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	for _, srv := range servers {
+		_ = srv.Close()
+	}
+}

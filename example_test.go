@@ -1,0 +1,51 @@
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+// ExampleGenerateWorld shows the minimal measurement loop: build a world,
+// run URHunter, inspect the classification.
+func ExampleGenerateWorld() {
+	world, err := repro.GenerateWorld(repro.TinyScale(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	result, err := repro.RunURHunter(context.Background(), world)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows := result.Table1()
+	total := rows[2]
+	fmt.Printf("suspicious URs found: %v\n", total.URs > 0)
+	fmt.Printf("malicious URs found: %v\n", total.MaliciousURs > 0)
+	fmt.Printf("zero-FN types: %d\n", len(rows))
+	// Output:
+	// suspicious URs found: true
+	// malicious URs found: true
+	// zero-FN types: 3
+}
+
+// ExampleExperimentByID runs a single named experiment, the way
+// cmd/experiments does.
+func ExampleExperimentByID() {
+	exp, ok := repro.ExperimentByID("fnrate")
+	if !ok {
+		log.Fatal("unknown experiment")
+	}
+	env, err := repro.NewEnv(context.Background(), repro.TinyScale(), 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	findings, err := exp.Run(context.Background(), env)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("false negatives: %.0f\n", findings.Metrics["false_negatives"])
+	// Output:
+	// false negatives: 0
+}

@@ -1,0 +1,157 @@
+// Covert channel walkthrough: the paper's Figure 1 threat model, end to end.
+//
+// An attacker hosts an undelegated record for a trusted domain at a
+// reputable provider (①), malware on a victim machine retrieves it with a
+// direct DNS query (③), the traffic slips past a reputation engine and a
+// resolution-path firewall (④), and the C2 connection succeeds (⑤). The
+// same attack is then replayed against a provider that adopted the §6
+// ownership-verification mitigation — and dies at step ①.
+//
+//	go run ./examples/covertchannel
+package main
+
+import (
+	"fmt"
+	"log"
+	"net/netip"
+	"time"
+
+	"repro/internal/defense"
+	"repro/internal/dns"
+	"repro/internal/hosting"
+	"repro/internal/ipam"
+	"repro/internal/malware"
+	"repro/internal/psl"
+	"repro/internal/registry"
+	"repro/internal/resolver"
+	"repro/internal/sandbox"
+	"repro/internal/simnet"
+)
+
+func main() {
+	// --- the world: root, .com, a trusted domain, a hosting provider ------
+	fabric := simnet.New(7)
+	ipdb := ipam.New()
+	reg, err := registry.New(fabric, ipdb, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, tld := range []dns.Name{"com", "test"} {
+		if err := reg.CreateTLD(tld, 1); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// trusted.com is registered and delegated to its real owner elsewhere.
+	if err := reg.SetDelegation("trusted.com", []dns.Name{"ns1.realowner.test"}, nil,
+		time.Now().AddDate(-2, 0, 0)); err != nil {
+		log.Fatal(err)
+	}
+
+	deps := hosting.Deps{Fabric: fabric, IPDB: ipdb, Registry: reg,
+		PSL: psl.Default(), Roots: []netip.Addr{reg.RootAddr()}, Seed: 1}
+	provider, err := hosting.NewProvider(hosting.PresetClouDNS(), deps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- step ①: the attacker hosts an undelegated record ----------------
+	attackerASN := ipdb.RegisterAS("BULLETPROOF", "RU", 1)
+	c2, _ := ipdb.Allocate(attackerASN)
+	if err := malware.InstallC2(fabric, c2, 443); err != nil {
+		log.Fatal(err)
+	}
+	provider.OpenAccount("attacker", false)
+	hz, err := provider.CreateZone("attacker", "trusted.com")
+	if err != nil {
+		log.Fatalf("zone creation refused: %v", err)
+	}
+	hz.Zone.MustAddRR(fmt.Sprintf("trusted.com 120 IN A %s", c2))
+	fmt.Printf("① attacker hosts trusted.com at %s; UR A -> %s on %d nameservers\n",
+		provider.Name, c2, len(hz.NS))
+	fmt.Printf("   (the real delegation still points at %v)\n\n", reg.Delegation("trusted.com"))
+
+	// --- steps ②③: the malware runs and retrieves the UR ------------------
+	victimASN := ipdb.RegisterAS("VICTIM-NET", "US", 1)
+	victim, _ := ipdb.Allocate(victimASN)
+	resolverAddr, _ := ipdb.Allocate(victimASN)
+	if _, err := resolver.NewOpenResolver(fabric, resolverAddr, "US",
+		[]netip.Addr{reg.RootAddr()}); err != nil {
+		log.Fatal(err)
+	}
+	sb := sandbox.New(fabric, victim, resolverAddr)
+
+	providerNS := hz.NS[0].Addr
+	sample := &sandbox.Sample{
+		Name: "demo-trojan", Family: "Demo",
+		Behavior: func(env sandbox.Env) error {
+			resp, err := env.QueryDNS(providerNS, "trusted.com", dns.TypeA)
+			if err != nil {
+				return err
+			}
+			dst, ok := malware.FirstA(resp)
+			if !ok {
+				return fmt.Errorf("no UR answer")
+			}
+			return env.ConnectTCP(dst, 443, "c2-checkin demo")
+		},
+	}
+	report := sb.Run(sample)
+	if report.Err != nil {
+		log.Fatalf("malware failed: %v", report.Err)
+	}
+	fmt.Printf("②③ malware queried %s directly and connected to %s\n\n",
+		providerNS, report.ContactedIPs()[0])
+
+	// --- step ④: the defenses watch and miss -----------------------------
+	rep := defense.NewReputationEngine()
+	rep.SetDomainReputation("trusted.com", 0.97) // a top site
+	rep.SetServerReputation(providerNS, 0.93)    // a reputable provider
+	fw := defense.NewPathFirewall(resolverAddr)
+	fw.MaliciousAnswers[c2] = true // the validator would catch it on-path
+
+	outcome := defense.EvaluateReport(report, rep, fw, nil)
+	fmt.Printf("④ reputation engine + path firewall: blocked %d/%d DNS flows, %d/%d connections\n",
+		outcome.BlockedDNS, outcome.TotalDNS, outcome.BlockedConns, outcome.TotalConns)
+	fmt.Printf("⑤ C2 reached: %v — the UR rode the reputation of the domain AND the provider\n\n",
+		outcome.C2Reached)
+
+	// --- the §6 mitigation: ownership verification ------------------------
+	fixed := hosting.PresetClouDNS()
+	fixed.Name = "ClouDNS (post-disclosure)"
+	fixed.InfraDomain = "cloudns-fixed.test"
+	fixed.Verification = hosting.VerifyNSDelegation
+	fixed.ServeUnverified = false
+	fixedProvider, err := hosting.NewProvider(fixed, hosting.Deps{
+		Fabric: fabric, IPDB: ipdb, Registry: reg, PSL: psl.Default(),
+		Roots: []netip.Addr{reg.RootAddr()}, Seed: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixedProvider.OpenAccount("attacker", false)
+	hz2, err := fixedProvider.CreateZone("attacker", "trusted.com")
+	if err != nil {
+		log.Fatalf("unexpected: %v", err)
+	}
+	hz2.Zone.MustAddRR(fmt.Sprintf("trusted.com 120 IN A %s", c2))
+	fmt.Printf("mitigation: %s verifies NS delegation; attacker zone served = %v\n",
+		fixedProvider.Name, hz2.Served())
+	sample2 := &sandbox.Sample{
+		Name: "demo-trojan-2", Family: "Demo",
+		Behavior: func(env sandbox.Env) error {
+			resp, err := env.QueryDNS(hz2.NS[0].Addr, "trusted.com", dns.TypeA)
+			if err != nil {
+				return err
+			}
+			addr, ok := malware.FirstA(resp)
+			if !ok {
+				return fmt.Errorf("UR gone: server answered %s", resp.Header.RCode)
+			}
+			if addr != c2 {
+				return fmt.Errorf("UR gone: server answered its protective record %s, not the C2", addr)
+			}
+			return nil
+		},
+	}
+	report2 := sb.Run(sample2)
+	fmt.Printf("malware against the fixed provider: %v\n", report2.Err)
+}

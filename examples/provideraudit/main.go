@@ -1,0 +1,46 @@
+// Provider audit: rerun the paper's Appendix C investigation against the
+// seven mainstream providers, pre- and post-disclosure, and print both
+// Table 2 matrices. The audit opens two free accounts and one paid account
+// per provider, probes every supported-domain category and duplicate rule,
+// and — per the paper's ethics appendix — removes every record it planted.
+//
+//	go run ./examples/provideraudit
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/hosting"
+)
+
+func main() {
+	fmt.Println("Pre-disclosure hosting strategies (the paper's Table 2):")
+	rows, err := repro.AuditProviders(hosting.AppendixCPresets(), 7)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(repro.RenderTable2(rows))
+
+	fmt.Println("\nPost-disclosure (§6: Tencent adopted NS-delegation verification,")
+	fmt.Println("Cloudflare expanded its reserved list, Alibaba added TXT challenges):")
+	var post []hosting.Policy
+	for _, p := range hosting.AppendixCPresets() {
+		post = append(post, hosting.PostDisclosure(p, nil))
+	}
+	rows, err = repro.AuditProviders(post, 9)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(repro.RenderTable2(rows))
+
+	fmt.Println("\nReading the matrix:")
+	fmt.Println("  NoVerif   — zone for someone else's domain is served without ownership proof")
+	fmt.Println("  Unreg     — unregistered domains accepted (Amazon, ClouDNS)")
+	fmt.Println("  Subdom    — subdomains of SLDs accepted (Cloudflare: paid accounts)")
+	fmt.Println("  eTLD      — public suffixes like gov.cn accepted")
+	fmt.Println("  DupSingle — one account may host the same domain twice (Amazon)")
+	fmt.Println("  DupCross  — different accounts may host the same domain")
+	fmt.Println("  NoRetr    — the legitimate owner has no retrieval mechanism")
+}

@@ -1,0 +1,615 @@
+package repro
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/defense"
+	"repro/internal/dns"
+	"repro/internal/ids"
+	"repro/internal/sandbox"
+	"repro/internal/threatintel"
+)
+
+// Findings is one experiment's output: human-readable lines plus the named
+// metrics EXPERIMENTS.md compares against the paper.
+type Findings struct {
+	ID      string
+	Title   string
+	Paper   string // the paper's headline claim for this experiment
+	Lines   []string
+	Metrics map[string]float64
+}
+
+func (f *Findings) addf(format string, args ...any) {
+	f.Lines = append(f.Lines, fmt.Sprintf(format, args...))
+}
+
+func (f *Findings) metric(name string, v float64) {
+	if f.Metrics == nil {
+		f.Metrics = make(map[string]float64)
+	}
+	f.Metrics[name] = v
+}
+
+// Render formats the findings for terminal output.
+func (f *Findings) Render() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "== %s: %s\n", f.ID, f.Title)
+	if f.Paper != "" {
+		fmt.Fprintf(&sb, "   paper: %s\n", f.Paper)
+	}
+	for _, l := range f.Lines {
+		sb.WriteString("   ")
+		sb.WriteString(l)
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// Env carries the shared state experiments run against: one generated world
+// and one URHunter result.
+type Env struct {
+	World  *World
+	Pipe   *core.Pipeline
+	Result *Result
+}
+
+// NewEnv generates a world and runs the pipeline once for all experiments.
+func NewEnv(ctx context.Context, scale Scale, seed int64) (*Env, error) {
+	w, err := GenerateWorld(scale, seed)
+	if err != nil {
+		return nil, err
+	}
+	pipe := NewPipeline(w)
+	res, err := pipe.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Env{World: w, Pipe: pipe, Result: res}, nil
+}
+
+// Experiment is one table/figure reproduction.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ctx context.Context, env *Env) (*Findings, error)
+}
+
+// Experiments returns every experiment in DESIGN.md's E1–E14 order.
+func Experiments() []Experiment {
+	return []Experiment{
+		{"table1", "Suspicious-UR overview (Table 1)", ExpTable1},
+		{"figure2", "UR categories per top vendor (Figure 2)", ExpFigure2},
+		{"figure3a", "Why IPs were labeled (Figure 3a)", ExpFigure3a},
+		{"figure3b", "Vendor-count distribution (Figure 3b)", ExpFigure3b},
+		{"figure3c", "IDS alert activities (Figure 3c)", ExpFigure3c},
+		{"figure3d", "Vendor tags (Figure 3d)", ExpFigure3d},
+		{"txtshare", "Email-related share of malicious TXT (§5.2)", ExpTXTShare},
+		{"table2", "Hosting strategies (Table 2 / Appendix C)", ExpTable2},
+		{"darkiot", "Dark.IoT case study (§5.3)", ExpDarkIoT},
+		{"specter", "Specter case study (§5.3)", ExpSpecter},
+		{"spf", "Masquerading SPF case study (§5.3)", ExpSPF},
+		{"fnrate", "Zero-false-negative validation (§4.2)", ExpFNRate},
+		{"bypass", "Defense bypass (threat model, §3)", ExpBypass},
+		{"ablation", "Appendix-B condition ablation", ExpAblation},
+		{"postdisclosure", "Post-disclosure remeasurement (§6)", ExpPostDisclosure},
+		{"mx", "MX-record extension sweep (§6 future work)", ExpMX},
+		{"subdomains", "PDNS subdomain recovery sweep (§6 future work)", ExpSubdomains},
+	}
+}
+
+// ExperimentByID finds one experiment.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// ExpTable1 reproduces Table 1.
+func ExpTable1(_ context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "table1", Title: "Suspicious-UR overview",
+		Paper: "1,580,925 suspicious URs; 25.41% malicious; 68.48% of domains, 79.48% of nameservers, 71.47% of providers affected; TXT malicious rate 3.08% vs A 28.92%"}
+	res := env.Result
+	for _, line := range strings.Split(strings.TrimRight(RenderTable1(res), "\n"), "\n") {
+		f.addf("%s", line)
+	}
+	rows := res.Table1()
+	total, aRow, txtRow := rows[2], rows[0], rows[1]
+	f.metric("malicious_ur_share", ratio(total.MaliciousURs, total.URs))
+	f.metric("malicious_domain_share", ratio(total.MaliciousDomains, total.Domains))
+	f.metric("malicious_ns_share", ratio(total.MaliciousNameservers, total.Nameservers))
+	f.metric("malicious_provider_share", ratio(total.MaliciousProviders, total.Providers))
+	f.metric("a_malicious_rate", ratio(aRow.MaliciousURs, aRow.URs))
+	f.metric("txt_malicious_rate", ratio(txtRow.MaliciousURs, txtRow.URs))
+	f.metric("suspicious_urs", float64(total.URs))
+	return f, nil
+}
+
+// ExpFigure2 reproduces Figure 2.
+func ExpFigure2(_ context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "figure2", Title: "UR categories per top vendor",
+		Paper: "Cloudflare 3,039,369 ≫ ClouDNS 90,783 > Amazon 84,256 > Akamai 53,100 > NHN 23,783; correct+protective dominate, malicious visible in every bar"}
+	res := env.Result
+	for _, line := range strings.Split(strings.TrimRight(RenderFigure2(res, 5), "\n"), "\n") {
+		f.addf("%s", line)
+	}
+	fig := res.Figure2(5)
+	if len(fig) > 0 {
+		f.metric("top_provider_is_cloudflare", boolMetric(fig[0].Provider == "Cloudflare"))
+		if len(fig) > 1 && fig[1].Total() > 0 {
+			f.metric("top_vs_second_ratio", float64(fig[0].Total())/float64(fig[1].Total()))
+		}
+	}
+	return f, nil
+}
+
+func boolMetric(b bool) float64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ExpFigure3a reproduces Figure 3(a).
+func ExpFigure3a(_ context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "figure3a", Title: "Why IPs were labeled",
+		Paper: "intel-only 34.20%, IDS-only 36.62%, both 29.18%"}
+	r := env.Result.Figure3a()
+	total := r.Total()
+	f.addf("intel-only %s, ids-only %s, both %s (of %d malicious IPs)",
+		pct(r.IntelOnly, total), pct(r.IDSOnly, total), pct(r.Both, total), total)
+	f.metric("intel_only_share", ratio(r.IntelOnly, total))
+	f.metric("ids_only_share", ratio(r.IDSOnly, total))
+	f.metric("both_share", ratio(r.Both, total))
+	return f, nil
+}
+
+// ExpFigure3b reproduces Figure 3(b).
+func ExpFigure3b(_ context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "figure3b", Title: "Vendor-count distribution",
+		Paper: "1-2: 77.90%, 3-4: 16.31%, 5-6: 2.01%, 7-11: 3.78%"}
+	buckets := env.Result.Figure3b()
+	total := 0
+	for _, n := range buckets {
+		total += n
+	}
+	for _, b := range []string{"1-2", "3-4", "5-6", "7-11"} {
+		f.addf("%-5s %s", b, pct(buckets[b], total))
+		f.metric("bucket_"+b, ratio(buckets[b], total))
+	}
+	return f, nil
+}
+
+// ExpFigure3c reproduces Figure 3(c).
+func ExpFigure3c(_ context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "figure3c", Title: "IDS alert activities",
+		Paper: "Trojan Activity 41.67%, Other 23.86%, Privacy Violation 21.19%, C&C 10.82%, Bad Traffic 2.46%"}
+	classes := env.Result.Figure3c()
+	total := 0
+	for _, n := range classes {
+		total += n
+	}
+	for _, c := range ids.AllClasses {
+		f.addf("%-18s %s", c, pct(classes[c], total))
+		f.metric(strings.ReplaceAll(string(c), " ", "_"), ratio(classes[c], total))
+	}
+	return f, nil
+}
+
+// ExpFigure3d reproduces Figure 3(d).
+func ExpFigure3d(_ context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "figure3d", Title: "Vendor tags",
+		Paper: "Trojan 89.01%, Scanner 41.01%, Other 33.33%, Malware 19.11%, C&C 16.25%, Botnet 10.23% (multi-tag per IP)"}
+	tags := env.Result.Figure3d()
+	r3a := env.Result.Figure3a()
+	intelIPs := r3a.IntelOnly + r3a.Both
+	for _, tag := range threatintel.AllTags {
+		f.addf("%-8s %s", tag, pct(tags[tag], intelIPs))
+		f.metric(string(tag), ratio(tags[tag], intelIPs))
+	}
+	return f, nil
+}
+
+// ExpTXTShare reproduces the §5.2 statistic.
+func ExpTXTShare(_ context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "txtshare", Title: "Email-related share of malicious TXT",
+		Paper: "90.95% of malicious TXT URs act as email records (SPF and DMARC)"}
+	email, mal := env.Result.TXTEmailShare()
+	f.addf("email-related %s of %d malicious TXT URs", pct(email, mal), mal)
+	f.metric("email_share", ratio(email, mal))
+	return f, nil
+}
+
+// ExpDarkIoT reproduces the Dark.IoT case study.
+func ExpDarkIoT(_ context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "darkiot", Title: "Dark.IoT case study",
+		Paper: "2021 variants query ClouDNS for api.gitlab.com (SLD rank 527) and fall back to EmerDNS; the 2023 variant abandons EmerDNS, hosting OpenNIC names as ClouDNS URs and moving to raw.pastebin.com (SLD rank 2033)"}
+	w := env.World
+	reports := reportsFor(w, "Dark.IoT")
+	if len(reports) != 3 {
+		return nil, fmt.Errorf("darkiot: %d reports", len(reports))
+	}
+	for _, rep := range reports {
+		emer, cloudns := 0, 0
+		domains := map[string]bool{}
+		for _, rec := range rep.DNS {
+			if rec.Server == w.Case.EmerDNSAddr {
+				emer++
+			}
+			if rec.Server == w.Case.ClouDNSNS {
+				cloudns++
+			}
+			domains[string(rec.Question.Name)] = true
+		}
+		reached := contacted(rep, w.Case.DarkIoTC2)
+		f.addf("%s (released %s): ClouDNS queries=%d EmerDNS queries=%d domains=%v C2 reached=%v",
+			rep.Sample.Name, rep.Sample.Released, cloudns, emer, keys(domains), reached)
+		if rep.Sample.Released == "2023-03-04" {
+			f.metric("v2023_emerdns_queries", float64(emer))
+		}
+	}
+	if rank, ok := w.Tranco.Rank("gitlab.com"); ok {
+		f.addf("gitlab.com SLD rank in generated list: %d (paper: 527)", rank)
+	}
+	if rank, ok := w.Tranco.Rank("pastebin.com"); ok {
+		f.addf("pastebin.com SLD rank in generated list: %d (paper: 2033)", rank)
+	}
+	return f, nil
+}
+
+// ExpSpecter reproduces the Specter case study.
+func ExpSpecter(_ context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "specter", Title: "Specter case study",
+		Paper: "three RAT variants keep C2 connections through ClouDNS URs for ibm.com (rank 125) and api.github.com (github.com rank 30); C2 flagged by 0 of 74 vendors"}
+	w := env.World
+	reports := reportsFor(w, "Specter")
+	for _, rep := range reports {
+		var domain string
+		if len(rep.DNS) > 0 {
+			domain = string(rep.DNS[0].Question.Name)
+		}
+		f.addf("%s: UR domain=%s C2 reached=%v", rep.Sample.Name, domain,
+			contacted(rep, w.Case.SpecterC2))
+	}
+	vendors := w.Intel.Lookup(w.Case.SpecterC2).VendorCount()
+	f.addf("Specter C2 flagged by %d of %d vendors", vendors, w.Intel.VendorCount())
+	f.metric("specter_vendor_flags", float64(vendors))
+	// Yet the URs are labeled malicious via IDS evidence.
+	mal := 0
+	for _, u := range env.Result.Suspicious {
+		if u.Category == core.CategoryMalicious && u.Server.Provider == "ClouDNS" &&
+			(u.Domain == "ibm.com" || u.Domain == "api.github.com") {
+			mal++
+		}
+	}
+	f.addf("Specter URs labeled malicious by URHunter: %d", mal)
+	f.metric("specter_urs_malicious", float64(mal))
+	return f, nil
+}
+
+// ExpSPF reproduces the masquerading-SPF case study.
+func ExpSPF(_ context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "spf", Title: "Masquerading SPF case study",
+		Paper: "speedtest.net (rank 415) SPF URs on 11 nameservers of 2 providers; 3 malicious IPs in one /24; 6 samples triggered 16 IDS alerts, 4 high-risk; Micropsia C2 + Tesla SMTP covert channel"}
+	w := env.World
+	f.addf("SPF URs served from %d nameservers across %d providers",
+		len(w.Case.SPFNS), countProviders(w.Case.SPFNS))
+	f.metric("spf_nameservers", float64(len(w.Case.SPFNS)))
+	f.addf("SPF server IPs: %v (one /24: %v)", w.Case.SPFServers, sameSlash24(w))
+
+	engine := w.IDS
+	alerts, high := 0, 0
+	highFlows := map[string]bool{}
+	for _, rep := range reportsByNames(w, sampleNames(w.Case.SPFSamples)) {
+		for _, a := range engine.InspectReport(rep) {
+			alerts++
+			if a.Rule.Severity == ids.SeverityHigh {
+				high++
+				highFlows[a.Flow.String()] = true
+			}
+		}
+	}
+	f.addf("%d samples triggered %d IDS alerts (%d high-severity across %d distinct flows)",
+		len(w.Case.SPFSamples), alerts, high, len(highFlows))
+	f.metric("spf_alerts", float64(alerts))
+	f.metric("spf_high_flows", float64(len(highFlows)))
+	for _, ip := range w.Case.SPFServers {
+		f.addf("SPF IP %s: flagged by %d vendors", ip, w.Intel.Lookup(ip).VendorCount())
+	}
+	return f, nil
+}
+
+// ExpFNRate reproduces the §4.2 zero-false-negative validation.
+func ExpFNRate(ctx context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "fnrate", Title: "Zero-false-negative validation",
+		Paper: "feeding the top-2K delegated records through the exclusion stage labels none as suspicious"}
+	total, fn, err := env.Pipe.FalseNegativeCheck(ctx, env.Result)
+	if err != nil {
+		return nil, err
+	}
+	f.addf("delegated records evaluated: %d, wrongly suspicious: %d", total, fn)
+	f.metric("false_negatives", float64(fn))
+	f.metric("evaluated", float64(total))
+	return f, nil
+}
+
+// ExpBypass reproduces the §3 threat-model claims: UR malware traffic slips
+// past reputation-based blocking and path validation, while ownership
+// verification (the §6 mitigation) prevents the UR from existing at all.
+func ExpBypass(_ context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "bypass", Title: "Defense bypass",
+		Paper: "URs capitalize on the reputation of popular domains and providers, bypassing reputation-based defenses; traffic does not traverse the default resolver, bypassing resolution-path inspection"}
+	w := env.World
+
+	// Reputation engine primed with the world's knowledge: top domains and
+	// provider nameservers are reputable.
+	rep := defense.NewReputationEngine()
+	for _, e := range w.Tranco.Top(w.Scale.Targets) {
+		rep.SetDomainReputation(e.Domain, 0.95)
+	}
+	for _, ns := range w.Nameservers {
+		rep.SetServerReputation(ns.Addr, 0.9)
+	}
+	fw := defense.NewPathFirewall(w.Resolvers.Resolvers[0].Addr)
+	for _, ip := range w.EvidencedIPs {
+		fw.MaliciousAnswers[ip] = true
+	}
+
+	var specterRep *sandbox.Report
+	for _, r := range reportsFor(w, "Specter") {
+		specterRep = r
+		break
+	}
+	if specterRep == nil {
+		return nil, fmt.Errorf("bypass: no specter report")
+	}
+	out := defense.EvaluateReport(specterRep, rep, fw, nil)
+	f.addf("default defenses: blocked %d/%d DNS flows, %d/%d connections; C2 reached=%v",
+		out.BlockedDNS, out.TotalDNS, out.BlockedConns, out.TotalConns, out.C2Reached)
+	f.metric("default_c2_reached", boolMetric(out.C2Reached))
+
+	fw.StrictDirectDNS = true
+	strict := defense.EvaluateReport(specterRep, rep, fw, nil)
+	f.addf("strict direct-DNS blocking: C2 reached=%v (collateral: breaks legitimate custom-resolver use)",
+		strict.C2Reached)
+	f.metric("strict_c2_reached", boolMetric(strict.C2Reached))
+	return f, nil
+}
+
+// ExpAblation drops each Appendix-B exclusion condition and measures how the
+// suspicious set inflates and whether false negatives appear.
+func ExpAblation(ctx context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "ablation", Title: "Appendix-B condition ablation",
+		Paper: "the five conditions plus HTTP keyword filtering jointly achieve a zero false-negative rate"}
+	baseline := len(env.Result.Suspicious)
+	f.addf("baseline suspicious set: %d", baseline)
+
+	type toggle struct {
+		name string
+		mut  func(d *core.Determiner)
+	}
+	toggles := []toggle{
+		{"no-IP-subset", func(d *core.Determiner) { d.UseIPSubset = false }},
+		{"no-AS-subset", func(d *core.Determiner) { d.UseASSubset = false }},
+		{"no-geo-subset", func(d *core.Determiner) { d.UseGeoSubset = false }},
+		{"no-cert-subset", func(d *core.Determiner) { d.UseCertSubset = false }},
+		{"no-pdns", func(d *core.Determiner) { d.UsePDNS = false }},
+		{"no-http-filter", func(d *core.Determiner) { d.UseHTTPFilter = false }},
+		{"all-conditions-off", func(d *core.Determiner) {
+			d.UseIPSubset, d.UseASSubset, d.UseGeoSubset = false, false, false
+			d.UseCertSubset, d.UsePDNS, d.UseHTTPFilter = false, false, false
+		}},
+	}
+	for _, tg := range toggles {
+		pipe := NewPipeline(env.World)
+		pipe.Determiner = core.NewDeterminer(env.World.URHunterConfig(), nil, nil)
+		tg.mut(pipe.Determiner)
+		res, err := pipe.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		_, fn, err := pipe.FalseNegativeCheck(ctx, res)
+		if err != nil {
+			return nil, err
+		}
+		f.addf("%-18s suspicious=%d (%+d vs baseline), false-negatives=%d",
+			tg.name, len(res.Suspicious), len(res.Suspicious)-baseline, fn)
+		f.metric(tg.name+"_delta", float64(len(res.Suspicious)-baseline))
+		f.metric(tg.name+"_fn", float64(fn))
+	}
+	return f, nil
+}
+
+// ExpPostDisclosure regenerates the world with the §6 vendor reactions
+// applied and remeasures: the attack surface shrinks but does not close.
+func ExpPostDisclosure(ctx context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "postdisclosure", Title: "Post-disclosure remeasurement",
+		Paper: "Tencent adopted NS verification, Cloudflare expanded its blacklist, Alibaba added TXT challenges; Cloudflare and Alibaba remain exploitable but available renowned domains become fewer"}
+	scale := env.World.Scale
+	scale.PostDisclosure = true
+	postEnv, err := NewEnv(ctx, scale, env.World.Seed)
+	if err != nil {
+		return nil, err
+	}
+	pre, post := env.Result, postEnv.Result
+	preRows, postRows := pre.Table1(), post.Table1()
+	f.addf("suspicious URs: %d pre-disclosure -> %d post-disclosure",
+		preRows[2].URs, postRows[2].URs)
+	f.addf("malicious URs:  %d pre-disclosure -> %d post-disclosure",
+		preRows[2].MaliciousURs, postRows[2].MaliciousURs)
+	f.addf("reserved-list refusals: %d pre -> %d post",
+		env.World.Plants.Refusals["domain is on the provider's reserved list"],
+		postEnv.World.Plants.Refusals["domain is on the provider's reserved list"])
+	countOn := func(res *Result, provider string) int {
+		n := 0
+		for _, u := range res.Suspicious {
+			if u.Server.Provider == provider && u.Category == core.CategoryMalicious {
+				n++
+			}
+		}
+		return n
+	}
+	tencentPre, tencentPost := countOn(pre, "Tencent Cloud"), countOn(post, "Tencent Cloud")
+	f.addf("malicious URs on Tencent Cloud: %d pre -> %d post (NS verification)",
+		tencentPre, tencentPost)
+	f.addf("malicious URs on Cloudflare: %d pre -> %d post (reserved list only: still exploitable)",
+		countOn(pre, "Cloudflare"), countOn(post, "Cloudflare"))
+	f.metric("pre_malicious", float64(preRows[2].MaliciousURs))
+	f.metric("post_malicious", float64(postRows[2].MaliciousURs))
+	f.metric("tencent_pre_malicious", float64(tencentPre))
+	f.metric("tencent_post_malicious", float64(tencentPost))
+	return f, nil
+}
+
+// ExpMX runs the future-work extension: the same sweep with MX added to the
+// query types, classifying the mail-exchanger URs that the paper leaves to
+// future measurement.
+func ExpMX(ctx context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "mx", Title: "MX-record extension sweep",
+		Paper: "§6 (limitations): 'our methodology is also adaptive for measuring ... other types of records (e.g., MX records)'"}
+	cfg := env.World.URHunterConfig()
+	cfg.QueryTypes = []dns.Type{dns.TypeMX}
+	pipe := core.NewPipeline(cfg)
+	res, err := pipe.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	counts := res.CategoryCounts()
+	f.addf("MX URs collected: %d (correct %d, protective %d, unknown %d, malicious %d)",
+		len(res.URs), counts[core.CategoryCorrect], counts[core.CategoryProtective],
+		counts[core.CategoryUnknown], counts[core.CategoryMalicious])
+	suspiciousDomains := map[string]bool{}
+	for _, u := range res.Suspicious {
+		suspiciousDomains[string(u.Domain)] = true
+	}
+	f.addf("suspicious MX URs: %d across %d domains", len(res.Suspicious), len(suspiciousDomains))
+	f.metric("mx_urs", float64(len(res.URs)))
+	f.metric("mx_suspicious", float64(len(res.Suspicious)))
+	f.metric("mx_correct", float64(counts[core.CategoryCorrect]))
+	return f, nil
+}
+
+// ExpSubdomains implements the other §6 future-work direction: recover
+// legitimate subdomains from passive DNS, extend the target list with them,
+// and re-sweep — surfacing the UR zones attackers hide one label down where
+// the top-domain sweep never looks.
+func ExpSubdomains(ctx context.Context, env *Env) (*Findings, error) {
+	f := &Findings{ID: "subdomains", Title: "PDNS subdomain recovery sweep",
+		Paper: "§6 (future work): 'we can recover legitimate subdomains from PDNS data and measure whether they appear in URs'"}
+	w := env.World
+
+	var recovered []dns.Name
+	seen := make(map[dns.Name]bool, len(w.Targets))
+	for _, t := range w.Targets {
+		seen[t] = true
+	}
+	for _, t := range w.Targets {
+		for _, sub := range w.PDNS.Subdomains(t) {
+			if !seen[sub] {
+				seen[sub] = true
+				recovered = append(recovered, sub)
+			}
+		}
+	}
+	f.addf("recovered %d subdomains from passive DNS", len(recovered))
+	if len(recovered) == 0 {
+		f.metric("recovered", 0)
+		return f, nil
+	}
+
+	cfg := w.URHunterConfig()
+	cfg.Targets = recovered // sweep only the recovered names
+	res, err := core.NewPipeline(cfg).Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	counts := res.CategoryCounts()
+	f.addf("URs at recovered subdomains: %d (suspicious %d, malicious %d)",
+		len(res.URs), len(res.Suspicious), counts[core.CategoryMalicious])
+	hidden := 0
+	for _, u := range res.Suspicious {
+		if u.Category == core.CategoryMalicious {
+			hidden++
+		}
+	}
+	f.addf("malicious URs invisible to the top-domain sweep: %d", hidden)
+	f.metric("recovered", float64(len(recovered)))
+	f.metric("subdomain_suspicious", float64(len(res.Suspicious)))
+	f.metric("subdomain_malicious", float64(hidden))
+	return f, nil
+}
+
+// --- helpers -------------------------------------------------------------
+
+func reportsFor(w *World, family string) []*sandbox.Report {
+	var out []*sandbox.Report
+	for _, r := range w.Reports {
+		if r.Sample.Family == family {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func sampleNames(samples []*sandbox.Sample) map[string]bool {
+	out := make(map[string]bool, len(samples))
+	for _, s := range samples {
+		out[s.Name] = true
+	}
+	return out
+}
+
+func reportsByNames(w *World, names map[string]bool) []*sandbox.Report {
+	var out []*sandbox.Report
+	for _, r := range w.Reports {
+		if names[r.Sample.Name] {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+func contacted(rep *sandbox.Report, ip any) bool {
+	for _, c := range rep.ContactedIPs() {
+		if fmt.Sprint(c) == fmt.Sprint(ip) {
+			return true
+		}
+	}
+	return false
+}
+
+func countProviders(ns []core.NameserverInfo) int {
+	seen := map[string]bool{}
+	for _, n := range ns {
+		seen[n.Provider] = true
+	}
+	return len(seen)
+}
+
+func sameSlash24(w *World) bool {
+	if len(w.Case.SPFServers) < 2 {
+		return false
+	}
+	first := w.Case.SPFServers[0].As4()
+	for _, ip := range w.Case.SPFServers[1:] {
+		b := ip.As4()
+		if b[0] != first[0] || b[1] != first[1] || b[2] != first[2] {
+			return false
+		}
+	}
+	return true
+}
+
+func keys(m map[string]bool) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package repro
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+func TestWriteReadJSON(t *testing.T) {
+	env := sharedEnv(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, env.Result, true); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Suspicious != len(env.Result.Suspicious) {
+		t.Errorf("suspicious = %d, want %d", sum.Suspicious, len(env.Result.Suspicious))
+	}
+	if len(sum.Records) != sum.Suspicious {
+		t.Errorf("records = %d", len(sum.Records))
+	}
+	if sum.Total != len(env.Result.URs) {
+		t.Errorf("total = %d", sum.Total)
+	}
+	if len(sum.Table1) != 3 {
+		t.Errorf("table1 rows = %d", len(sum.Table1))
+	}
+	sawMalicious := false
+	for _, r := range sum.Records {
+		if r.Category == "malicious" {
+			sawMalicious = true
+			if !r.ByIntel && !r.ByIDS {
+				t.Errorf("malicious record without evidence flags: %+v", r)
+			}
+		}
+		if r.Domain == "" || r.Provider == "" || r.Nameserver == "" {
+			t.Errorf("incomplete record: %+v", r)
+		}
+	}
+	if !sawMalicious {
+		t.Error("no malicious records exported")
+	}
+	if _, err := ReadJSON(strings.NewReader("{broken")); err == nil {
+		t.Error("broken JSON accepted")
+	}
+}
+
+func TestWriteJSONAllRecords(t *testing.T) {
+	env := sharedEnv(t)
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, env.Result, false); err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Records) != len(env.Result.URs) {
+		t.Errorf("records = %d, want all %d", len(sum.Records), len(env.Result.URs))
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	env := sharedEnv(t)
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, env.Result, true); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(env.Result.Suspicious)+1 {
+		t.Fatalf("rows = %d, want %d+header", len(rows), len(env.Result.Suspicious))
+	}
+	if rows[0][0] != "domain" || rows[0][7] != "category" {
+		t.Errorf("header = %v", rows[0])
+	}
+	for _, row := range rows[1:] {
+		if len(row) != len(csvHeader) {
+			t.Fatalf("row width = %d", len(row))
+		}
+		switch row[7] {
+		case "malicious", "unknown":
+		default:
+			t.Errorf("suspicious export contains category %q", row[7])
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package authority
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/dns"
+	"repro/internal/zone"
+)
+
+// TestFindZoneExported covers the wrapper used by provider-level responders.
+func TestFindZoneExported(t *testing.T) {
+	s := NewServer()
+	z := zone.New("example.com")
+	z.MustAddRR("example.com 60 IN A 192.0.2.1")
+	if err := s.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := s.FindZone("www.example.com")
+	if !ok || got != z {
+		t.Errorf("FindZone = %v %v", got, ok)
+	}
+	if _, ok := s.FindZone("other.org"); ok {
+		t.Error("FindZone matched unrelated name")
+	}
+	// Longest match against nested zones.
+	child := zone.New("sub.example.com")
+	child.MustAddRR("sub.example.com 60 IN A 192.0.2.2")
+	if err := s.AddZone(child); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := s.FindZone("x.sub.example.com"); got != child {
+		t.Error("longest-match zone not preferred")
+	}
+	if got, _ := s.FindZone("example.com"); got != z {
+		t.Error("parent zone lost")
+	}
+}
+
+// TestCNAMEChaseAcrossZonesOnSameServer: a CNAME whose target lives in a
+// sibling zone hosted by the same server is chased in-server.
+func TestCNAMEChaseAcrossZonesOnSameServer(t *testing.T) {
+	s := NewServer()
+	a := zone.New("a.test")
+	a.MustAddRR("www.a.test 60 IN CNAME target.b.test")
+	b := zone.New("b.test")
+	b.MustAddRR("target.b.test 60 IN A 192.0.2.9")
+	if err := s.AddZone(a); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddZone(b); err != nil {
+		t.Fatal(err)
+	}
+	r := s.HandleQuery(netip.MustParseAddr("10.0.0.1"), dns.NewQuery(1, "www.a.test", dns.TypeA))
+	if len(r.Answers) != 2 {
+		t.Fatalf("answers: %v", r.Answers)
+	}
+	if r.Answers[1].Data.(*dns.A).Addr.String() != "192.0.2.9" {
+		t.Errorf("chased answer: %v", r.Answers[1])
+	}
+}
+
+// TestQueriesCounterAccumulates covers the stats accessor under load.
+func TestQueriesCounterAccumulates(t *testing.T) {
+	s := NewServer()
+	z := zone.New("c.test")
+	z.MustAddRR("c.test 60 IN A 192.0.2.1")
+	if err := s.AddZone(z); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 25; i++ {
+		s.HandleQuery(netip.MustParseAddr("10.0.0.1"), dns.NewQuery(uint16(i), "c.test", dns.TypeA))
+	}
+	if got := s.Queries(); got != 25 {
+		t.Errorf("Queries = %d", got)
+	}
+}

@@ -1,0 +1,110 @@
+package core
+
+import (
+	"net/netip"
+
+	"repro/internal/dns"
+	idspkg "repro/internal/ids"
+)
+
+// Analyzer implements §4.3: malicious-behaviour analysis over threat
+// intelligence and IDS-inspected sandbox traffic.
+type Analyzer struct {
+	cfg *Config
+
+	// idsIPs caches the set of IPs with ≥medium-severity alerts.
+	idsIPs map[netip.Addr]bool
+	// alerts keeps every fired alert for the Figure 3(c) breakdown.
+	alerts []idspkg.Alert
+}
+
+// NewAnalyzer builds the analyzer and pre-computes the IDS evidence set from
+// the sandbox reports.
+func NewAnalyzer(cfg *Config) *Analyzer {
+	a := &Analyzer{cfg: cfg, idsIPs: make(map[netip.Addr]bool)}
+	if cfg.IDS != nil {
+		for _, rep := range cfg.SandboxReports {
+			alerts := cfg.IDS.InspectReport(rep)
+			a.alerts = append(a.alerts, alerts...)
+			for _, ip := range idspkg.AlertedIPs(alerts, idspkg.SeverityMedium) {
+				a.idsIPs[ip] = true
+			}
+		}
+	}
+	return a
+}
+
+// Alerts returns every alert fired over the sandbox corpus.
+func (a *Analyzer) Alerts() []idspkg.Alert { return a.alerts }
+
+// IDSFlaggedIPs returns the evidence set from sandbox traffic.
+func (a *Analyzer) IDSFlaggedIPs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(a.idsIPs))
+	for ip := range a.idsIPs {
+		out = append(out, ip)
+	}
+	return out
+}
+
+// Analyze labels suspicious URs as malicious when a corresponding IP is
+// flagged by threat intelligence or carries IDS-alerted traffic. TXT records
+// first inherit corresponding IPs from same-server same-domain A records;
+// TXT records with no corresponding IP at all stay unknown (the paper
+// excludes them from the malicious determination).
+func (a *Analyzer) Analyze(suspicious []*UR) {
+	a.attachTXTCorrespondence(suspicious)
+	for _, u := range suspicious {
+		if u.Category != CategoryUnknown {
+			continue
+		}
+		for _, ip := range u.CorrespondingIPs {
+			intel := a.cfg.Intel != nil && a.cfg.Intel.IsMalicious(ip)
+			ids := a.idsIPs[ip]
+			if intel {
+				u.MaliciousByIntel = true
+			}
+			if ids {
+				u.MaliciousByIDS = true
+			}
+		}
+		if u.MaliciousByIntel || u.MaliciousByIDS {
+			u.Category = CategoryMalicious
+		}
+	}
+}
+
+// attachTXTCorrespondence implements the §4.3 correspondence rule: when an A
+// and a TXT record are hosted on the same nameserver for the same domain,
+// the A record's IP is included among the TXT record's corresponding IPs.
+func (a *Analyzer) attachTXTCorrespondence(urs []*UR) {
+	type key struct {
+		server netip.Addr
+		domain dns.Name
+	}
+	aIPs := make(map[key][]netip.Addr)
+	for _, u := range urs {
+		if u.Type == dns.TypeA && len(u.CorrespondingIPs) > 0 {
+			k := key{u.Server.Addr, u.Domain}
+			aIPs[k] = append(aIPs[k], u.CorrespondingIPs...)
+		}
+	}
+	for _, u := range urs {
+		if u.Type != dns.TypeTXT {
+			continue
+		}
+		extra := aIPs[key{u.Server.Addr, u.Domain}]
+		if len(extra) == 0 {
+			continue
+		}
+		seen := make(map[netip.Addr]bool, len(u.CorrespondingIPs))
+		for _, ip := range u.CorrespondingIPs {
+			seen[ip] = true
+		}
+		for _, ip := range extra {
+			if !seen[ip] {
+				seen[ip] = true
+				u.CorrespondingIPs = append(u.CorrespondingIPs, ip)
+			}
+		}
+	}
+}

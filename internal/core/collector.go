@@ -1,0 +1,404 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/dns"
+	"repro/internal/dnsio"
+	"repro/internal/ipam"
+	"repro/internal/pdns"
+	"repro/internal/simnet"
+	"repro/internal/threatintel"
+	"repro/internal/websim"
+
+	idspkg "repro/internal/ids"
+	sbx "repro/internal/sandbox"
+)
+
+// Config wires URHunter to the world under measurement.
+type Config struct {
+	Fabric *simnet.Fabric
+	IPDB   *ipam.DB
+	Web    *websim.World
+
+	// SrcAddr is the measurement vantage point.
+	SrcAddr netip.Addr
+
+	// Targets are the measured domains (the top-2K Tranco sites, plus the
+	// case-study FQDNs under them).
+	Targets []dns.Name
+	// Nameservers are the measured provider servers (≥50 hosted top-1M
+	// domains in the paper's selection).
+	Nameservers []NameserverInfo
+	// OpenResolvers are the worldwide vantage points for correct-record
+	// collection.
+	OpenResolvers []netip.Addr
+
+	// DelegatedNS reports the current delegation of a domain, used to skip
+	// exactly-delegated (domain, nameserver) pairs during collection.
+	DelegatedNS func(domain dns.Name) []dns.Name
+
+	// PDNS is the historical-delegation store (may be nil).
+	PDNS *pdns.Store
+	// Now anchors the six-year PDNS window.
+	Now time.Time
+
+	// Intel and IDS supply the §4.3 evidence; SandboxReports carries the
+	// malware traffic the IDS inspects.
+	Intel          *threatintel.Aggregator
+	IDS            *idspkg.Engine
+	SandboxReports []*sbx.Report
+
+	// Parallelism bounds the collection worker pool (default 8).
+	Parallelism int
+
+	// QueryTypes defaults to A and TXT, the paper's two sweeps.
+	QueryTypes []dns.Type
+
+	// PoliteInterval is the per-server minimum query spacing a real-world
+	// run of this plan would honour (the ethics appendix commits to one
+	// query per server every ~130 seconds on average). The simulation does
+	// not sleep; the collector keeps the books so PoliteScanEstimate can
+	// report the polite wall-clock. Zero selects the paper's 130 s.
+	PoliteInterval time.Duration
+}
+
+func (c *Config) politeInterval() time.Duration {
+	if c.PoliteInterval <= 0 {
+		return 130 * time.Second
+	}
+	return c.PoliteInterval
+}
+
+func (c *Config) queryTypes() []dns.Type {
+	if len(c.QueryTypes) == 0 {
+		return []dns.Type{dns.TypeA, dns.TypeTXT}
+	}
+	return c.QueryTypes
+}
+
+func (c *Config) parallelism() int {
+	if c.Parallelism <= 0 {
+		return 8
+	}
+	return c.Parallelism
+}
+
+// Collector implements §4.1: response collection.
+type Collector struct {
+	cfg    *Config
+	client *dnsio.Client
+
+	mu         sync.Mutex
+	probeCache map[netip.Addr]websim.ProbeResult
+	queries    int64
+	perServer  map[netip.Addr]int64
+}
+
+// NewCollector builds a collector over the configured fabric.
+func NewCollector(cfg *Config) *Collector {
+	client := dnsio.NewClient(&dnsio.SimTransport{Fabric: cfg.Fabric, Src: cfg.SrcAddr})
+	client.Retries = 1
+	client.SeedIDs(0x5eed)
+	return &Collector{
+		cfg:        cfg,
+		client:     client,
+		probeCache: make(map[netip.Addr]websim.ProbeResult),
+		perServer:  make(map[netip.Addr]int64),
+	}
+}
+
+// Queries returns the number of DNS queries issued so far.
+func (c *Collector) Queries() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.queries
+}
+
+func (c *Collector) countQuery(server netip.Addr) {
+	c.mu.Lock()
+	c.queries++
+	c.perServer[server]++
+	c.mu.Unlock()
+}
+
+// PoliteScanEstimate reports the wall-clock a real-world run of the executed
+// query plan would take under the ethics appendix's per-server pacing: the
+// busiest server's query count times the polite interval (servers are
+// queried in parallel, so the busiest one gates the scan).
+func (c *Collector) PoliteScanEstimate() time.Duration {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var max int64
+	for _, n := range c.perServer {
+		if n > max {
+			max = n
+		}
+	}
+	return time.Duration(max) * c.cfg.politeInterval()
+}
+
+// CollectURs sweeps every (nameserver, target, type) triple, skipping pairs
+// where the target is exactly delegated to the nameserver, and returns the
+// undelegated records extracted from NOERROR responses.
+func (c *Collector) CollectURs(ctx context.Context) ([]*UR, error) {
+	type job struct {
+		ns NameserverInfo
+	}
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var out []*UR
+	var firstErr error
+
+	workers := c.cfg.parallelism()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				urs, err := c.collectFromNS(ctx, j.ns)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				out = append(out, urs...)
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, ns := range c.cfg.Nameservers {
+		jobs <- job{ns: ns}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	c.enrich(out)
+	return out, nil
+}
+
+// collectFromNS queries one nameserver for every target and type.
+func (c *Collector) collectFromNS(ctx context.Context, ns NameserverInfo) ([]*UR, error) {
+	var out []*UR
+	server := netip.AddrPortFrom(ns.Addr, dnsio.DNSPort)
+	// Ethics appendix: queries are issued in randomized order, never
+	// walking the target list top-down against any single server.
+	order := c.shuffledTargets(ns.Addr)
+	for _, target := range order {
+		if c.isExactlyDelegated(target, ns) {
+			continue
+		}
+		for _, qt := range c.cfg.queryTypes() {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			c.countQuery(ns.Addr)
+			resp, err := c.client.Query(ctx, server, target, qt)
+			if err != nil || resp.Header.RCode != dns.RCodeSuccess {
+				continue
+			}
+			for _, rr := range resp.Answers {
+				if rr.Type() != qt || rr.Name != target {
+					continue
+				}
+				out = append(out, &UR{
+					Server: ns,
+					Domain: target,
+					Type:   qt,
+					RData:  rr.Data.String(),
+					TTL:    rr.TTL,
+				})
+			}
+		}
+	}
+	return out, nil
+}
+
+// shuffledTargets returns the target list in a server-specific pseudo-random
+// order, deterministic in the server address.
+func (c *Collector) shuffledTargets(server netip.Addr) []dns.Name {
+	out := make([]dns.Name, len(c.cfg.Targets))
+	copy(out, c.cfg.Targets)
+	seed := int64(0)
+	for _, b := range server.AsSlice() {
+		seed = seed*131 + int64(b)
+	}
+	r := rand.New(rand.NewSource(seed))
+	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	return out
+}
+
+// isExactlyDelegated reports whether the target — or an ancestor it
+// resolves under — is delegated to this nameserver host. FQDN targets
+// (api.gitlab.com) served by their SLD's delegated server are normal
+// resolution, not undelegated records.
+func (c *Collector) isExactlyDelegated(target dns.Name, ns NameserverInfo) bool {
+	if c.cfg.DelegatedNS == nil {
+		return false
+	}
+	for n := target; n != dns.Root; n = n.Parent() {
+		for _, host := range c.cfg.DelegatedNS(n) {
+			if host == ns.Host {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// enrich attaches AS/geo/cert/HTTP data to every A-record UR and the
+// corresponding IPs to both A and TXT records (TXT correspondence with
+// same-NS same-domain A records happens in the analyzer, which sees the full
+// set).
+func (c *Collector) enrich(urs []*UR) {
+	for _, u := range urs {
+		switch u.Type {
+		case dns.TypeA:
+			addr, err := netip.ParseAddr(u.RData)
+			if err != nil {
+				continue
+			}
+			u.CorrespondingIPs = []netip.Addr{addr}
+			if info, ok := c.cfg.IPDB.Lookup(addr); ok {
+				u.ASN, u.ASName, u.Country = info.ASN, info.ASName, info.Country
+			}
+			if c.cfg.Web != nil {
+				u.HTTP = c.probe(addr)
+				u.Cert = u.HTTP.Cert
+			}
+		case dns.TypeTXT:
+			u.TXTClass = ClassifyTXT(u.RData)
+			u.CorrespondingIPs = extractIPs(u.RData)
+		default:
+			// MX and other extension types: rdata names a host rather than
+			// an address; any embedded literal IPs still count as
+			// correspondence evidence.
+			u.CorrespondingIPs = extractIPs(u.RData)
+		}
+	}
+}
+
+// probe fetches (with caching) the HTTP/TLS enrichment for an IP.
+func (c *Collector) probe(addr netip.Addr) websim.ProbeResult {
+	c.mu.Lock()
+	if res, ok := c.probeCache[addr]; ok {
+		c.mu.Unlock()
+		return res
+	}
+	c.mu.Unlock()
+	res := c.cfg.Web.Probe(c.cfg.SrcAddr, addr)
+	c.mu.Lock()
+	c.probeCache[addr] = res
+	c.mu.Unlock()
+	return res
+}
+
+// CollectCorrect builds the legitimate-record database by querying the open
+// resolvers for every target's A and TXT records and folding in enrichment —
+// the geo-distributed correct-record collection of §4.1(2).
+func (c *Collector) CollectCorrect(ctx context.Context) (*CorrectDB, error) {
+	db := NewCorrectDB()
+	type job struct{ resolver netip.Addr }
+	jobs := make(chan job)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	workers := c.cfg.parallelism()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobs {
+				if err := c.collectCorrectVia(ctx, db, j.resolver); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for _, r := range c.cfg.OpenResolvers {
+		jobs <- job{resolver: r}
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return db, nil
+}
+
+func (c *Collector) collectCorrectVia(ctx context.Context, db *CorrectDB, resolver netip.Addr) error {
+	server := netip.AddrPortFrom(resolver, dnsio.DNSPort)
+	for _, target := range c.shuffledTargets(resolver) {
+		for _, qt := range c.cfg.queryTypes() {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			c.countQuery(resolver)
+			resp, err := c.client.Query(ctx, server, target, qt)
+			if err != nil || resp.Header.RCode != dns.RCodeSuccess {
+				continue
+			}
+			profile := db.Profile(target)
+			for _, rr := range resp.Answers {
+				switch data := rr.Data.(type) {
+				case *dns.A:
+					var asn ipam.ASN
+					var country, certFP string
+					if info, ok := c.cfg.IPDB.Lookup(data.Addr); ok {
+						asn, country = info.ASN, info.Country
+					}
+					if c.cfg.Web != nil {
+						if res := c.probe(data.Addr); res.Cert != nil {
+							certFP = res.Cert.Fingerprint
+						}
+					}
+					profile.AddA(data.Addr, asn, country, certFP)
+				case *dns.TXT:
+					profile.AddTXT(rr.Data.String())
+				default:
+					profile.AddOther(rr.Type(), rr.Data.String())
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// CollectProtective queries every nameserver for a canary domain no one
+// hosts and records the answers as that server's protective records
+// (§4.1(3)).
+func (c *Collector) CollectProtective(ctx context.Context) (*ProtectiveDB, error) {
+	db := NewProtectiveDB()
+	canary := dns.Name(fmt.Sprintf("urhunter-canary-%d.test", time.Now().UnixNano()%1_000_000))
+	for _, ns := range c.cfg.Nameservers {
+		server := netip.AddrPortFrom(ns.Addr, dnsio.DNSPort)
+		for _, qt := range c.cfg.queryTypes() {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			c.countQuery(ns.Addr)
+			resp, err := c.client.Query(ctx, server, canary, qt)
+			if err != nil || resp.Header.RCode != dns.RCodeSuccess {
+				continue
+			}
+			for _, rr := range resp.Answers {
+				if rr.Type() == qt {
+					db.Add(ns.Addr, qt, rr.Data.String())
+				}
+			}
+		}
+	}
+	return db, nil
+}

@@ -1,0 +1,204 @@
+package core
+
+import (
+	"net/netip"
+	"regexp"
+	"strings"
+
+	"repro/internal/dns"
+)
+
+// Determiner implements §4.2: excluding correct and protective records from
+// the collected URs, leaving the suspicious set.
+type Determiner struct {
+	cfg        *Config
+	correct    *CorrectDB
+	protective *ProtectiveDB
+
+	// Condition toggles for the E14 ablation: all enabled by default.
+	UseIPSubset   bool
+	UseASSubset   bool
+	UseGeoSubset  bool
+	UseCertSubset bool
+	UsePDNS       bool
+	UseHTTPFilter bool
+}
+
+// NewDeterminer builds a determiner over the collected databases.
+func NewDeterminer(cfg *Config, correct *CorrectDB, protective *ProtectiveDB) *Determiner {
+	return &Determiner{
+		cfg: cfg, correct: correct, protective: protective,
+		UseIPSubset: true, UseASSubset: true, UseGeoSubset: true,
+		UseCertSubset: true, UsePDNS: true, UseHTTPFilter: true,
+	}
+}
+
+// Determine labels every UR as protective, correct (with a reason), or
+// leaves it unknown (suspicious). It returns the suspicious subset.
+func (d *Determiner) Determine(urs []*UR) []*UR {
+	var suspicious []*UR
+	for _, u := range urs {
+		d.classify(u)
+		if u.Category == CategoryUnknown {
+			suspicious = append(suspicious, u)
+		}
+	}
+	return suspicious
+}
+
+func (d *Determiner) classify(u *UR) {
+	// Protective records match exactly by (server, type, rdata).
+	if d.protective != nil && d.protective.Match(u.Server.Addr, u.Type, u.RData) {
+		u.Category = CategoryProtective
+		u.Reason = ReasonProtective
+		return
+	}
+	switch u.Type {
+	case dns.TypeA:
+		if reason, ok := d.correctA(u); ok {
+			u.Category = CategoryCorrect
+			u.Reason = reason
+			return
+		}
+	case dns.TypeTXT:
+		if reason, ok := d.correctTXT(u); ok {
+			u.Category = CategoryCorrect
+			u.Reason = reason
+			return
+		}
+	default:
+		// Extension types (MX, ...): exact match against the legitimate
+		// profile or passive DNS, mirroring the TXT rule.
+		if reason, ok := d.correctOther(u); ok {
+			u.Category = CategoryCorrect
+			u.Reason = reason
+			return
+		}
+	}
+	u.Category = CategoryUnknown
+}
+
+// correctA applies the Appendix B conditions: the record is correct when ANY
+// of the subset conditions holds against the domain's legitimate profile,
+// when passive DNS saw it within the window, or when the HTTP content says
+// parked/redirect.
+func (d *Determiner) correctA(u *UR) (CorrectReason, bool) {
+	profile, _ := d.correct.Lookup(u.Domain)
+	addr, err := netip.ParseAddr(u.RData)
+	if err != nil {
+		return ReasonNone, false
+	}
+	if profile != nil {
+		if d.UseIPSubset && profile.IPs[addr] {
+			return ReasonIPSubset, true
+		}
+		if d.UseASSubset && u.ASN != 0 && profile.ASNs[u.ASN] {
+			return ReasonASSubset, true
+		}
+		if d.UseGeoSubset && u.Country != "" && len(profile.Countries) > 0 &&
+			profile.Countries[u.Country] && d.onlyCountrySignal(profile) {
+			return ReasonGeoSubset, true
+		}
+		if d.UseCertSubset && u.Cert != nil && profile.CertFPs[u.Cert.Fingerprint] {
+			return ReasonCertSubset, true
+		}
+	}
+	if d.UsePDNS && d.cfg.PDNS != nil {
+		cutoff := d.cfg.Now.AddDate(-6, 0, 0)
+		if d.cfg.PDNS.Seen(u.Domain, dns.TypeA, u.RData, cutoff) {
+			return ReasonPDNS, true
+		}
+	}
+	if d.UseHTTPFilter && u.HTTP.Reachable {
+		body := strings.ToLower(u.HTTP.Body)
+		if strings.Contains(body, "parked") || strings.Contains(body, "parking") {
+			return ReasonParked, true
+		}
+		if u.HTTP.StatusCode/100 == 3 || strings.Contains(body, "redirecting") {
+			return ReasonRedirect, true
+		}
+	}
+	return ReasonNone, false
+}
+
+// onlyCountrySignal guards the geo condition: country containment alone is a
+// weak signal when the legitimate set spans many countries (a CDN), where it
+// is meaningful; for single-country sites it would whitelist any co-located
+// attacker, so we require a multi-country (geo-distributed) profile.
+func (d *Determiner) onlyCountrySignal(p *DomainProfile) bool {
+	return len(p.Countries) >= 3
+}
+
+// correctTXT excludes TXT URs that exactly match a legitimately observed
+// record or its PDNS history.
+func (d *Determiner) correctTXT(u *UR) (CorrectReason, bool) {
+	if profile, ok := d.correct.Lookup(u.Domain); ok && profile.TXTs[u.RData] {
+		return ReasonTXTMatch, true
+	}
+	if d.UsePDNS && d.cfg.PDNS != nil {
+		cutoff := d.cfg.Now.AddDate(-6, 0, 0)
+		if d.cfg.PDNS.Seen(u.Domain, dns.TypeTXT, u.RData, cutoff) {
+			return ReasonPDNS, true
+		}
+	}
+	return ReasonNone, false
+}
+
+// correctOther excludes extension-type URs that exactly match a
+// legitimately observed record or history.
+func (d *Determiner) correctOther(u *UR) (CorrectReason, bool) {
+	if profile, ok := d.correct.Lookup(u.Domain); ok && profile.HasOther(u.Type, u.RData) {
+		return ReasonTXTMatch, true
+	}
+	if d.UsePDNS && d.cfg.PDNS != nil {
+		cutoff := d.cfg.Now.AddDate(-6, 0, 0)
+		if d.cfg.PDNS.Seen(u.Domain, u.Type, u.RData, cutoff) {
+			return ReasonPDNS, true
+		}
+	}
+	return ReasonNone, false
+}
+
+// --- TXT classification and IP extraction -------------------------------
+
+var (
+	reSPF   = regexp.MustCompile(`(?i)^"?v=spf1\b`)
+	reDMARC = regexp.MustCompile(`(?i)^"?v=dmarc1\b`)
+	reDKIM  = regexp.MustCompile(`(?i)\bv=dkim1\b`)
+	reVerif = regexp.MustCompile(`(?i)(site-verification|domain-verification|verification=|_verify)`)
+	reIPv4  = regexp.MustCompile(`\b(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})\b`)
+)
+
+// ClassifyTXT buckets TXT rdata into the known categories of §4.2.
+func ClassifyTXT(rdata string) TXTCategory {
+	switch {
+	case reSPF.MatchString(rdata):
+		return TXTSPF
+	case reDMARC.MatchString(rdata):
+		return TXTDMARC
+	case reDKIM.MatchString(rdata):
+		return TXTDKIM
+	case reVerif.MatchString(rdata):
+		return TXTVerification
+	default:
+		return TXTOther
+	}
+}
+
+// extractIPs pulls every plausible IPv4 address out of TXT rdata — SPF ip4:
+// mechanisms, bare addresses in encoded commands, DMARC rua hosts, etc.
+func extractIPs(rdata string) []netip.Addr {
+	var out []netip.Addr
+	seen := make(map[netip.Addr]bool)
+	for _, m := range reIPv4.FindAllString(rdata, -1) {
+		a, err := netip.ParseAddr(m)
+		if err != nil || !a.Is4() {
+			continue
+		}
+		if !seen[a] {
+			seen[a] = true
+			out = append(out, a)
+		}
+	}
+	return out
+}

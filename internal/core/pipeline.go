@@ -1,0 +1,140 @@
+package core
+
+import (
+	"context"
+	"net/netip"
+
+	"repro/internal/dns"
+	"repro/internal/dnsio"
+)
+
+// Result is the full output of a URHunter run.
+type Result struct {
+	// URs is every collected undelegated record, classified.
+	URs []*UR
+	// Suspicious is the subset that survived §4.2 exclusion (malicious +
+	// unknown after §4.3).
+	Suspicious []*UR
+
+	Correct    *CorrectDB
+	Protective *ProtectiveDB
+	Analyzer   *Analyzer
+
+	// Queries is the total DNS queries issued (the paper's "23 million DNS
+	// responses" analogue).
+	Queries int64
+}
+
+// Pipeline chains the three URHunter components.
+type Pipeline struct {
+	Cfg *Config
+	// Determiner is exposed so experiments can toggle the Appendix B
+	// conditions before Run (the E14 ablation).
+	Determiner *Determiner
+
+	collector *Collector
+}
+
+// NewPipeline builds a pipeline over a configured world.
+func NewPipeline(cfg *Config) *Pipeline {
+	return &Pipeline{Cfg: cfg, collector: NewCollector(cfg)}
+}
+
+// Collector exposes the collection component.
+func (p *Pipeline) Collector() *Collector { return p.collector }
+
+// Run executes collection, determination, and analysis.
+func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
+	correct, err := p.collector.CollectCorrect(ctx)
+	if err != nil {
+		return nil, err
+	}
+	protective, err := p.collector.CollectProtective(ctx)
+	if err != nil {
+		return nil, err
+	}
+	urs, err := p.collector.CollectURs(ctx)
+	if err != nil {
+		return nil, err
+	}
+
+	if p.Determiner == nil {
+		p.Determiner = NewDeterminer(p.Cfg, correct, protective)
+	} else {
+		p.Determiner.correct = correct
+		p.Determiner.protective = protective
+	}
+	suspicious := p.Determiner.Determine(urs)
+
+	analyzer := NewAnalyzer(p.Cfg)
+	analyzer.Analyze(suspicious)
+
+	return &Result{
+		URs:        urs,
+		Suspicious: suspicious,
+		Correct:    correct,
+		Protective: protective,
+		Analyzer:   analyzer,
+		Queries:    p.collector.Queries(),
+	}, nil
+}
+
+// FalseNegativeCheck is the §4.2 validation: it feeds the *delegated*
+// records of every target (resolved through an open resolver) through the
+// exclusion stage and returns how many were wrongly kept as suspicious —
+// the paper reports zero.
+func (p *Pipeline) FalseNegativeCheck(ctx context.Context, res *Result) (int, int, error) {
+	if len(p.Cfg.OpenResolvers) == 0 {
+		return 0, 0, nil
+	}
+	client := dnsio.NewClient(&dnsio.SimTransport{Fabric: p.Cfg.Fabric, Src: p.Cfg.SrcAddr})
+	client.SeedIDs(0xFACE)
+	resolver := netip.AddrPortFrom(p.Cfg.OpenResolvers[0], dnsio.DNSPort)
+
+	// Reuse the pipeline's determiner so ablated condition toggles are
+	// reflected in the validation, as the E14 experiment requires.
+	det := p.Determiner
+	if det == nil {
+		det = NewDeterminer(p.Cfg, res.Correct, res.Protective)
+	} else {
+		det.correct = res.Correct
+		det.protective = res.Protective
+	}
+	total, falseNeg := 0, 0
+	for _, target := range p.Cfg.Targets {
+		for _, qt := range p.Cfg.queryTypes() {
+			resp, err := client.Query(ctx, resolver, target, qt)
+			if err != nil || resp.Header.RCode != dns.RCodeSuccess {
+				continue
+			}
+			for _, rr := range resp.Answers {
+				if rr.Type() != qt || rr.Name != target {
+					continue
+				}
+				u := &UR{
+					Server: NameserverInfo{Addr: resolver.Addr(), Host: "delegated", Provider: "delegated"},
+					Domain: target, Type: qt, RData: rr.Data.String(), TTL: rr.TTL,
+				}
+				// Enrich the way the collector would.
+				if qt == dns.TypeA {
+					if addr, err := netip.ParseAddr(u.RData); err == nil {
+						u.CorrespondingIPs = []netip.Addr{addr}
+						if info, ok := p.Cfg.IPDB.Lookup(addr); ok {
+							u.ASN, u.ASName, u.Country = info.ASN, info.ASName, info.Country
+						}
+						if p.Cfg.Web != nil {
+							u.HTTP = p.Cfg.Web.Probe(p.Cfg.SrcAddr, addr)
+							u.Cert = u.HTTP.Cert
+						}
+					}
+				}
+				total++
+				det.classify(u)
+				if u.Category == CategoryUnknown {
+					falseNeg++
+				}
+			}
+		}
+	}
+	return total, falseNeg, nil
+}

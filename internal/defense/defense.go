@@ -1,0 +1,216 @@
+// Package defense implements the defender-side baselines the paper argues
+// URs bypass (§3): reputation-based blocking (Notos/EXPOSURE-style domain and
+// server reputation) and resolution-path inspection (DNSSEC-style validation
+// plus firewalling of DNS traffic). The E13 experiment runs UR malware
+// traffic through both and measures what gets stopped — and what legitimate
+// traffic a strict "block direct DNS" stance breaks.
+package defense
+
+import (
+	"net/netip"
+	"sync"
+
+	"repro/internal/dns"
+	"repro/internal/sandbox"
+)
+
+// Verdict is a defense decision about one flow.
+type Verdict struct {
+	Blocked bool
+	Reason  string
+}
+
+// Allow is the pass-through verdict.
+var Allow = Verdict{}
+
+func block(reason string) Verdict { return Verdict{Blocked: true, Reason: reason} }
+
+// ReputationEngine scores domains and server IPs in [0,1] (1 = pristine).
+// Unknown entities get NeutralScore. A DNS flow is blocked when either the
+// queried domain or the contacted server scores below Threshold — the
+// classic blacklist/reputation approach.
+type ReputationEngine struct {
+	mu      sync.RWMutex
+	domains map[dns.Name]float64
+	servers map[netip.Addr]float64
+
+	// Threshold blocks scores strictly below it.
+	Threshold float64
+	// NeutralScore is assigned to unknown entities.
+	NeutralScore float64
+}
+
+// NewReputationEngine builds an engine with conventional defaults.
+func NewReputationEngine() *ReputationEngine {
+	return &ReputationEngine{
+		domains:      make(map[dns.Name]float64),
+		servers:      make(map[netip.Addr]float64),
+		Threshold:    0.3,
+		NeutralScore: 0.5,
+	}
+}
+
+// SetDomainReputation records a domain score (e.g. 0.95 for a Tranco-top
+// site, 0.05 for a blacklisted one).
+func (e *ReputationEngine) SetDomainReputation(d dns.Name, score float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.domains[d] = score
+}
+
+// SetServerReputation records a server-IP score.
+func (e *ReputationEngine) SetServerReputation(a netip.Addr, score float64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.servers[a] = score
+}
+
+// DomainReputation returns the effective score of a domain, inheriting the
+// registrable ancestor's score when the exact name is unknown (reputation
+// systems score zones, not leaves).
+func (e *ReputationEngine) DomainReputation(d dns.Name) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	for n := d; n != dns.Root; n = n.Parent() {
+		if s, ok := e.domains[n]; ok {
+			return s
+		}
+	}
+	return e.NeutralScore
+}
+
+// ServerReputation returns the effective score of a server IP.
+func (e *ReputationEngine) ServerReputation(a netip.Addr) float64 {
+	e.mu.RLock()
+	defer e.mu.RUnlock()
+	if s, ok := e.servers[a]; ok {
+		return s
+	}
+	return e.NeutralScore
+}
+
+// EvaluateDNS judges one DNS query (domain asked, server contacted).
+func (e *ReputationEngine) EvaluateDNS(domain dns.Name, server netip.Addr) Verdict {
+	if e.DomainReputation(domain) < e.Threshold {
+		return block("domain reputation below threshold")
+	}
+	if e.ServerReputation(server) < e.Threshold {
+		return block("DNS server reputation below threshold")
+	}
+	return Allow
+}
+
+// EvaluateConnection judges a non-DNS flow by destination reputation.
+func (e *ReputationEngine) EvaluateConnection(dst netip.Addr) Verdict {
+	if e.ServerReputation(dst) < e.Threshold {
+		return block("destination reputation below threshold")
+	}
+	return Allow
+}
+
+// PathFirewall models defenses that examine DNS traffic on the normal
+// resolution path (DNSSEC validation at the configured resolver, NGFW DNS
+// inspection). Queries to the enterprise resolver are fully inspected.
+// Direct queries to other DNS servers are the blind spot: by default they
+// are allowed because they are indistinguishable from legitimate custom
+// public-resolver use; StrictDirectDNS blocks them all, at the cost of
+// breaking that legitimate traffic.
+type PathFirewall struct {
+	// EnterpriseResolver is the sanctioned resolver.
+	EnterpriseResolver netip.Addr
+	// PublicResolvers are well-known public DNS services employees use.
+	PublicResolvers map[netip.Addr]bool
+	// StrictDirectDNS blocks every DNS flow not aimed at the enterprise
+	// resolver.
+	StrictDirectDNS bool
+	// MaliciousAnswers is the validator's blocklist applied to answers seen
+	// on the sanctioned path.
+	MaliciousAnswers map[netip.Addr]bool
+}
+
+// NewPathFirewall builds a firewall around the sanctioned resolver.
+func NewPathFirewall(enterprise netip.Addr) *PathFirewall {
+	return &PathFirewall{
+		EnterpriseResolver: enterprise,
+		PublicResolvers:    make(map[netip.Addr]bool),
+		MaliciousAnswers:   make(map[netip.Addr]bool),
+	}
+}
+
+// EvaluateDNSFlow judges one DNS flow given the structured query record.
+func (f *PathFirewall) EvaluateDNSFlow(rec sandbox.DNSRecord) Verdict {
+	if rec.Server == f.EnterpriseResolver {
+		// Full inspection on the sanctioned path.
+		for _, rr := range rec.Answers {
+			if a, ok := rr.Data.(*dns.A); ok && f.MaliciousAnswers[a.Addr] {
+				return block("answer failed validation on sanctioned path")
+			}
+		}
+		return Allow
+	}
+	if f.StrictDirectDNS {
+		return block("direct DNS to non-sanctioned server")
+	}
+	// The blind spot: direct DNS looks like custom-resolver configuration.
+	return Allow
+}
+
+// Outcome summarizes a defense evaluation over a traffic capture.
+type Outcome struct {
+	TotalDNS        int
+	BlockedDNS      int
+	TotalConns      int
+	BlockedConns    int
+	C2Reached       bool
+	CollateralHits  int // legitimate flows blocked (strict modes)
+	BlockedVerdicts []Verdict
+}
+
+// EvaluateReport runs both defenses over a sandbox report. legitDirect
+// marks DNS servers that are legitimate direct-query targets (public
+// resolvers configured by the user) for collateral accounting.
+func EvaluateReport(rep *sandbox.Report, repEng *ReputationEngine, fw *PathFirewall,
+	legitDirect map[netip.Addr]bool) Outcome {
+	var out Outcome
+	blockedIPs := make(map[netip.Addr]bool)
+
+	for _, rec := range rep.DNS {
+		out.TotalDNS++
+		v := repEng.EvaluateDNS(rec.Question.Name, rec.Server)
+		if !v.Blocked && fw != nil {
+			v = fw.EvaluateDNSFlow(rec)
+		}
+		if v.Blocked {
+			out.BlockedDNS++
+			out.BlockedVerdicts = append(out.BlockedVerdicts, v)
+			if legitDirect[rec.Server] {
+				out.CollateralHits++
+			}
+			// Answers from a blocked resolution are unusable.
+			for _, rr := range rec.Answers {
+				if a, ok := rr.Data.(*dns.A); ok {
+					blockedIPs[a.Addr] = true
+				}
+			}
+		}
+	}
+	for _, fl := range rep.Flows {
+		if fl.Proto == sandbox.ProtoDNS {
+			continue
+		}
+		out.TotalConns++
+		v := repEng.EvaluateConnection(fl.Dst)
+		if v.Blocked || blockedIPs[fl.Dst] {
+			out.BlockedConns++
+			if !v.Blocked {
+				v = block("destination learned via blocked resolution")
+			}
+			out.BlockedVerdicts = append(out.BlockedVerdicts, v)
+			continue
+		}
+		if fl.Answered {
+			out.C2Reached = true
+		}
+	}
+	return out
+}

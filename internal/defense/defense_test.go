@@ -1,0 +1,182 @@
+package defense
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/dns"
+	"repro/internal/sandbox"
+)
+
+var (
+	victim      = netip.MustParseAddr("100.90.0.9")
+	enterprise  = netip.MustParseAddr("100.90.0.53")
+	providerNS  = netip.MustParseAddr("100.90.1.53") // reputable hosting NS
+	shadyNS     = netip.MustParseAddr("100.90.6.66")
+	c2          = netip.MustParseAddr("66.90.2.66")
+	googleLike  = netip.MustParseAddr("8.8.8.8")
+	trustedSite = dns.Name("ibm.com")
+	shadyDomain = dns.Name("evil-updates.biz")
+)
+
+func repEngine() *ReputationEngine {
+	e := NewReputationEngine()
+	e.SetDomainReputation(trustedSite, 0.98)
+	e.SetDomainReputation(shadyDomain, 0.05)
+	e.SetServerReputation(providerNS, 0.95)
+	e.SetServerReputation(shadyNS, 0.05)
+	e.SetServerReputation(c2, 0.5) // unknown to intel: fresh infrastructure
+	return e
+}
+
+func TestReputationBlocksKnownBad(t *testing.T) {
+	e := repEngine()
+	if v := e.EvaluateDNS(shadyDomain, enterprise); !v.Blocked {
+		t.Error("shady domain allowed")
+	}
+	if v := e.EvaluateDNS(trustedSite, shadyNS); !v.Blocked {
+		t.Error("shady server allowed")
+	}
+	if v := e.EvaluateConnection(shadyNS); !v.Blocked {
+		t.Error("shady destination allowed")
+	}
+}
+
+func TestReputationBypassedByUR(t *testing.T) {
+	e := repEngine()
+	// The UR attack: trusted domain asked at a reputable provider NS.
+	if v := e.EvaluateDNS(trustedSite, providerNS); v.Blocked {
+		t.Errorf("UR query blocked by reputation: %+v", v)
+	}
+	// Fresh C2 infrastructure has neutral reputation.
+	if v := e.EvaluateConnection(c2); v.Blocked {
+		t.Error("neutral-reputation C2 blocked")
+	}
+}
+
+func TestDomainReputationInheritance(t *testing.T) {
+	e := repEngine()
+	if got := e.DomainReputation("api.ibm.com"); got != 0.98 {
+		t.Errorf("subdomain reputation = %v", got)
+	}
+	if got := e.DomainReputation("unknown.org"); got != e.NeutralScore {
+		t.Errorf("unknown reputation = %v", got)
+	}
+	if got := e.ServerReputation(netip.MustParseAddr("1.1.1.1")); got != e.NeutralScore {
+		t.Errorf("unknown server reputation = %v", got)
+	}
+}
+
+func dnsRec(server netip.Addr, name dns.Name, answers ...netip.Addr) sandbox.DNSRecord {
+	rec := sandbox.DNSRecord{Server: server, Direct: server != enterprise,
+		Question: dns.Question{Name: name, Type: dns.TypeA, Class: dns.ClassINET}}
+	for _, a := range answers {
+		rec.Answers = append(rec.Answers, dns.RR{Name: name, Class: dns.ClassINET, TTL: 60,
+			Data: &dns.A{Addr: a}})
+	}
+	return rec
+}
+
+func TestPathFirewallInspectsSanctionedPath(t *testing.T) {
+	fw := NewPathFirewall(enterprise)
+	fw.MaliciousAnswers[c2] = true
+	// Malicious answer on the sanctioned path: caught.
+	if v := fw.EvaluateDNSFlow(dnsRec(enterprise, shadyDomain, c2)); !v.Blocked {
+		t.Error("malicious answer passed validation")
+	}
+	// Clean answer: passes.
+	if v := fw.EvaluateDNSFlow(dnsRec(enterprise, trustedSite, googleLike)); v.Blocked {
+		t.Error("clean answer blocked")
+	}
+}
+
+func TestPathFirewallBlindToDirectDNS(t *testing.T) {
+	fw := NewPathFirewall(enterprise)
+	fw.MaliciousAnswers[c2] = true
+	// The same malicious answer fetched directly from the provider NS is NOT
+	// seen by path validation — the paper's core bypass.
+	if v := fw.EvaluateDNSFlow(dnsRec(providerNS, trustedSite, c2)); v.Blocked {
+		t.Errorf("direct DNS blocked by default: %+v", v)
+	}
+	// Strict mode closes the hole...
+	fw.StrictDirectDNS = true
+	if v := fw.EvaluateDNSFlow(dnsRec(providerNS, trustedSite, c2)); !v.Blocked {
+		t.Error("strict mode did not block direct DNS")
+	}
+	// ...but also breaks legitimate public-resolver use.
+	if v := fw.EvaluateDNSFlow(dnsRec(googleLike, trustedSite, googleLike)); !v.Blocked {
+		t.Error("strict mode inconsistent")
+	}
+}
+
+func urAttackReport() *sandbox.Report {
+	return &sandbox.Report{
+		DNS: []sandbox.DNSRecord{
+			dnsRec(providerNS, trustedSite, c2),
+		},
+		Flows: []sandbox.Flow{
+			{Proto: sandbox.ProtoDNS, Src: victim, Dst: providerNS, DstPort: 53,
+				Payload: "query ibm.com. A direct=true", Answered: true},
+			{Proto: sandbox.ProtoTCP, Src: victim, Dst: c2, DstPort: 443,
+				Payload: "c2-checkin", Answered: true},
+		},
+	}
+}
+
+func TestEvaluateReportURBypassesBoth(t *testing.T) {
+	rep := urAttackReport()
+	out := EvaluateReport(rep, repEngine(), func() *PathFirewall {
+		fw := NewPathFirewall(enterprise)
+		fw.MaliciousAnswers[c2] = true
+		return fw
+	}(), nil)
+	if out.BlockedDNS != 0 || out.BlockedConns != 0 {
+		t.Errorf("UR attack partially blocked: %+v", out)
+	}
+	if !out.C2Reached {
+		t.Error("C2 not reached")
+	}
+}
+
+func TestEvaluateReportStrictModeStopsURWithCollateral(t *testing.T) {
+	rep := urAttackReport()
+	// Add a legitimate direct query to a public resolver.
+	rep.DNS = append(rep.DNS, dnsRec(googleLike, "wikipedia.org", netip.MustParseAddr("91.198.174.192")))
+	rep.Flows = append(rep.Flows, sandbox.Flow{Proto: sandbox.ProtoDNS, Src: victim,
+		Dst: googleLike, DstPort: 53, Payload: "query wikipedia.org. A direct=true", Answered: true})
+
+	fw := NewPathFirewall(enterprise)
+	fw.StrictDirectDNS = true
+	out := EvaluateReport(rep, repEngine(), fw, map[netip.Addr]bool{googleLike: true})
+	if out.BlockedDNS != 2 {
+		t.Errorf("blocked DNS = %d, want 2", out.BlockedDNS)
+	}
+	if out.BlockedConns != 1 {
+		t.Errorf("blocked conns = %d (C2 contact should die with the blocked resolution)", out.BlockedConns)
+	}
+	if out.C2Reached {
+		t.Error("C2 reached under strict mode")
+	}
+	if out.CollateralHits != 1 {
+		t.Errorf("collateral = %d, want 1 (the legitimate public-resolver query)", out.CollateralHits)
+	}
+}
+
+func TestEvaluateReportReputationStopsClassicAttack(t *testing.T) {
+	// Classic attack: shady domain on shady NS — reputation catches it.
+	rep := &sandbox.Report{
+		DNS: []sandbox.DNSRecord{dnsRec(shadyNS, shadyDomain, c2)},
+		Flows: []sandbox.Flow{
+			{Proto: sandbox.ProtoDNS, Src: victim, Dst: shadyNS, DstPort: 53, Answered: true},
+			{Proto: sandbox.ProtoTCP, Src: victim, Dst: c2, DstPort: 443,
+				Payload: "c2-checkin", Answered: true},
+		},
+	}
+	out := EvaluateReport(rep, repEngine(), NewPathFirewall(enterprise), nil)
+	if out.BlockedDNS != 1 {
+		t.Errorf("classic attack DNS not blocked: %+v", out)
+	}
+	if out.C2Reached {
+		t.Error("classic C2 reached despite blocked resolution")
+	}
+}

@@ -1,0 +1,79 @@
+package dns
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// TestParseRRNeverPanics feeds randomized token soup to the presentation
+// parser; it must return errors, never panic.
+func TestParseRRNeverPanics(t *testing.T) {
+	tokens := []string{
+		"example.com", "60", "IN", "A", "TXT", "NS", "MX", "SOA", "CNAME",
+		"192.0.2.1", "2001:db8::1", `"quoted"`, `"unterminated`, ";comment",
+		"-1", "10", "bad!name", "*", ".", "..", "\\", "\"", "65536",
+		strings.Repeat("a", 300),
+	}
+	r := rand.New(rand.NewSource(99))
+	for i := 0; i < 5000; i++ {
+		n := r.Intn(8)
+		parts := make([]string, n)
+		for j := range parts {
+			parts[j] = tokens[r.Intn(len(tokens))]
+		}
+		_, _ = ParseRR(strings.Join(parts, " ")) // must not panic
+	}
+}
+
+// TestUnpackMutatedMessages flips bytes in valid messages; Unpack must
+// error or succeed, never panic, and successful re-packs must be packable.
+func TestUnpackMutatedMessages(t *testing.T) {
+	base, err := sampleMessage().Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	for i := 0; i < 5000; i++ {
+		buf := make([]byte, len(base))
+		copy(buf, base)
+		for k := 0; k < 1+r.Intn(4); k++ {
+			buf[r.Intn(len(buf))] = byte(r.Intn(256))
+		}
+		m, err := Unpack(buf)
+		if err != nil {
+			continue
+		}
+		// Whatever parsed must round-trip through Pack without panicking.
+		_, _ = m.Pack()
+	}
+}
+
+// TestQuickNameChildParentInverse checks Child/Parent as inverse operations.
+func TestQuickNameChildParentInverse(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		base := randomName(r)
+		label := string(rune('a' + r.Intn(26)))
+		child := base.Child(label)
+		return child.Parent() == base && child.IsProperSubdomainOf(base)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSubdomainTransitivity: a ⊑ b and b ⊑ c implies a ⊑ c.
+func TestQuickSubdomainTransitivity(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c := randomName(r)
+		b := c.Child("x")
+		a := b.Child("y")
+		return a.IsSubdomainOf(b) && b.IsSubdomainOf(c) && a.IsSubdomainOf(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,321 @@
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Header is the fixed 12-octet DNS message header (RFC 1035 §4.1.1).
+type Header struct {
+	ID                 uint16
+	Response           bool
+	OpCode             OpCode
+	Authoritative      bool
+	Truncated          bool
+	RecursionDesired   bool
+	RecursionAvailable bool
+	RCode              RCode
+}
+
+// Question is a query tuple.
+type Question struct {
+	Name  Name
+	Type  Type
+	Class Class
+}
+
+// String returns the dig-style presentation of q.
+func (q Question) String() string {
+	return fmt.Sprintf("%s %s %s", q.Name, q.Class, q.Type)
+}
+
+// RR is a resource record: owner name, TTL, class, and a typed payload.
+type RR struct {
+	Name  Name
+	Class Class
+	TTL   uint32
+	Data  RData
+}
+
+// Type returns the record type of the payload.
+func (r RR) Type() Type {
+	if r.Data == nil {
+		return TypeNone
+	}
+	return r.Data.Type()
+}
+
+// String returns the zone-file presentation of r.
+func (r RR) String() string {
+	return fmt.Sprintf("%s\t%d\t%s\t%s\t%s", r.Name, r.TTL, r.Class, r.Type(), r.Data)
+}
+
+// Message is a complete DNS message.
+type Message struct {
+	Header     Header
+	Questions  []Question
+	Answers    []RR
+	Authority  []RR
+	Additional []RR
+}
+
+// NewQuery builds a standard recursion-desired query for (name, type).
+func NewQuery(id uint16, name Name, t Type) *Message {
+	return &Message{
+		Header: Header{ID: id, RecursionDesired: true},
+		Questions: []Question{
+			{Name: name, Type: t, Class: ClassINET},
+		},
+	}
+}
+
+// Reply builds a response skeleton mirroring the query's ID, question, and
+// recursion-desired flag.
+func (m *Message) Reply() *Message {
+	r := &Message{
+		Header: Header{
+			ID:               m.Header.ID,
+			Response:         true,
+			OpCode:           m.Header.OpCode,
+			RecursionDesired: m.Header.RecursionDesired,
+		},
+	}
+	r.Questions = append(r.Questions, m.Questions...)
+	return r
+}
+
+// Question returns the first question, or a zero Question if there is none.
+func (m *Message) Question() Question {
+	if len(m.Questions) == 0 {
+		return Question{}
+	}
+	return m.Questions[0]
+}
+
+// AnswersOfType filters the answer section by record type.
+func (m *Message) AnswersOfType(t Type) []RR {
+	var out []RR
+	for _, rr := range m.Answers {
+		if rr.Type() == t {
+			out = append(out, rr)
+		}
+	}
+	return out
+}
+
+const headerLen = 12
+
+// Pack serializes m into wire format with name compression.
+func (m *Message) Pack() ([]byte, error) {
+	return m.pack(0)
+}
+
+// PackTruncated serializes m, and if the result exceeds maxSize it re-packs
+// with the answer/authority/additional sections emptied and TC set, per the
+// classic UDP truncation behaviour. maxSize <= 0 means no limit.
+func (m *Message) PackTruncated(maxSize int) ([]byte, error) {
+	buf, err := m.Pack()
+	if err != nil {
+		return nil, err
+	}
+	if maxSize <= 0 || len(buf) <= maxSize {
+		return buf, nil
+	}
+	tc := &Message{Header: m.Header, Questions: m.Questions}
+	tc.Header.Truncated = true
+	return tc.Pack()
+}
+
+func (m *Message) pack(_ int) ([]byte, error) {
+	if len(m.Questions) > 0xFFFF || len(m.Answers) > 0xFFFF ||
+		len(m.Authority) > 0xFFFF || len(m.Additional) > 0xFFFF {
+		return nil, errors.New("dns: section too large")
+	}
+	buf := make([]byte, headerLen, 512)
+	h := &m.Header
+	buf[0], buf[1] = byte(h.ID>>8), byte(h.ID)
+	var flags uint16
+	if h.Response {
+		flags |= 1 << 15
+	}
+	flags |= uint16(h.OpCode&0xF) << 11
+	if h.Authoritative {
+		flags |= 1 << 10
+	}
+	if h.Truncated {
+		flags |= 1 << 9
+	}
+	if h.RecursionDesired {
+		flags |= 1 << 8
+	}
+	if h.RecursionAvailable {
+		flags |= 1 << 7
+	}
+	flags |= uint16(h.RCode & 0xF)
+	buf[2], buf[3] = byte(flags>>8), byte(flags)
+	put16 := func(i int, v uint16) { buf[i], buf[i+1] = byte(v>>8), byte(v) }
+	put16(4, uint16(len(m.Questions)))
+	put16(6, uint16(len(m.Answers)))
+	put16(8, uint16(len(m.Authority)))
+	put16(10, uint16(len(m.Additional)))
+
+	compress := make(map[Name]int)
+	var err error
+	for _, q := range m.Questions {
+		if buf, err = packName(buf, q.Name, compress); err != nil {
+			return nil, err
+		}
+		buf = append(buf, byte(q.Type>>8), byte(q.Type), byte(q.Class>>8), byte(q.Class))
+	}
+	for _, section := range [][]RR{m.Answers, m.Authority, m.Additional} {
+		for _, rr := range section {
+			if buf, err = packRR(buf, rr, compress); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(buf) > MaxMessageSize {
+		return nil, errors.New("dns: message exceeds 65535 octets")
+	}
+	return buf, nil
+}
+
+func packRR(buf []byte, rr RR, compress map[Name]int) ([]byte, error) {
+	if rr.Data == nil {
+		return nil, fmt.Errorf("dns: record %q has no payload", rr.Name)
+	}
+	var err error
+	if buf, err = packName(buf, rr.Name, compress); err != nil {
+		return nil, err
+	}
+	t := rr.Type()
+	buf = append(buf, byte(t>>8), byte(t), byte(rr.Class>>8), byte(rr.Class),
+		byte(rr.TTL>>24), byte(rr.TTL>>16), byte(rr.TTL>>8), byte(rr.TTL))
+	rdlenAt := len(buf)
+	buf = append(buf, 0, 0)
+	if buf, err = rr.Data.pack(buf, compress); err != nil {
+		return nil, err
+	}
+	rdlen := len(buf) - rdlenAt - 2
+	if rdlen > 0xFFFF {
+		return nil, errors.New("dns: rdata exceeds 65535 octets")
+	}
+	buf[rdlenAt], buf[rdlenAt+1] = byte(rdlen>>8), byte(rdlen)
+	return buf, nil
+}
+
+// Unpack parses a wire-format DNS message.
+func Unpack(msg []byte) (*Message, error) {
+	if len(msg) < headerLen {
+		return nil, errors.New("dns: message shorter than header")
+	}
+	var m Message
+	h := &m.Header
+	h.ID = uint16(msg[0])<<8 | uint16(msg[1])
+	flags := uint16(msg[2])<<8 | uint16(msg[3])
+	h.Response = flags&(1<<15) != 0
+	h.OpCode = OpCode(flags >> 11 & 0xF)
+	h.Authoritative = flags&(1<<10) != 0
+	h.Truncated = flags&(1<<9) != 0
+	h.RecursionDesired = flags&(1<<8) != 0
+	h.RecursionAvailable = flags&(1<<7) != 0
+	h.RCode = RCode(flags & 0xF)
+
+	qd := int(msg[4])<<8 | int(msg[5])
+	an := int(msg[6])<<8 | int(msg[7])
+	ns := int(msg[8])<<8 | int(msg[9])
+	ar := int(msg[10])<<8 | int(msg[11])
+
+	off := headerLen
+	var err error
+	for i := 0; i < qd; i++ {
+		var q Question
+		if q.Name, off, err = unpackName(msg, off); err != nil {
+			return nil, fmt.Errorf("dns: question %d: %w", i, err)
+		}
+		if off+4 > len(msg) {
+			return nil, errors.New("dns: truncated question")
+		}
+		q.Type = Type(uint16(msg[off])<<8 | uint16(msg[off+1]))
+		q.Class = Class(uint16(msg[off+2])<<8 | uint16(msg[off+3]))
+		off += 4
+		m.Questions = append(m.Questions, q)
+	}
+	unpackSection := func(n int, what string) ([]RR, error) {
+		var rrs []RR
+		for i := 0; i < n; i++ {
+			rr, next, err := unpackRR(msg, off)
+			if err != nil {
+				return nil, fmt.Errorf("dns: %s %d: %w", what, i, err)
+			}
+			off = next
+			rrs = append(rrs, rr)
+		}
+		return rrs, nil
+	}
+	if m.Answers, err = unpackSection(an, "answer"); err != nil {
+		return nil, err
+	}
+	if m.Authority, err = unpackSection(ns, "authority"); err != nil {
+		return nil, err
+	}
+	if m.Additional, err = unpackSection(ar, "additional"); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+func unpackRR(msg []byte, off int) (RR, int, error) {
+	var rr RR
+	var err error
+	if rr.Name, off, err = unpackName(msg, off); err != nil {
+		return rr, 0, err
+	}
+	if off+10 > len(msg) {
+		return rr, 0, errors.New("dns: truncated record header")
+	}
+	t := Type(uint16(msg[off])<<8 | uint16(msg[off+1]))
+	rr.Class = Class(uint16(msg[off+2])<<8 | uint16(msg[off+3]))
+	rr.TTL = uint32(msg[off+4])<<24 | uint32(msg[off+5])<<16 | uint32(msg[off+6])<<8 | uint32(msg[off+7])
+	rdlen := int(msg[off+8])<<8 | int(msg[off+9])
+	off += 10
+	rr.Data, err = unpackRData(t, msg, off, rdlen)
+	if err != nil {
+		return rr, 0, err
+	}
+	return rr, off + rdlen, nil
+}
+
+// Summary renders a compact dig-style dump of the message for logs and the
+// dnsq tool.
+func (m *Message) Summary() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, ";; id %d %s %s", m.Header.ID, m.Header.OpCode, m.Header.RCode)
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{
+		{m.Header.Response, "qr"}, {m.Header.Authoritative, "aa"},
+		{m.Header.Truncated, "tc"}, {m.Header.RecursionDesired, "rd"},
+		{m.Header.RecursionAvailable, "ra"},
+	} {
+		if f.on {
+			sb.WriteByte(' ')
+			sb.WriteString(f.name)
+		}
+	}
+	sb.WriteByte('\n')
+	for _, q := range m.Questions {
+		fmt.Fprintf(&sb, ";; question: %s\n", q)
+	}
+	for _, s := range []struct {
+		name string
+		rrs  []RR
+	}{{"answer", m.Answers}, {"authority", m.Authority}, {"additional", m.Additional}} {
+		for _, rr := range s.rrs {
+			fmt.Fprintf(&sb, "%s: %s\n", s.name, rr)
+		}
+	}
+	return sb.String()
+}

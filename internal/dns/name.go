@@ -1,0 +1,256 @@
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// Name handling. Internally a Name is the canonical presentation form:
+// lowercase ASCII labels joined by dots, with NO trailing dot. The root zone
+// is the empty string. This keeps map keys cheap and comparisons trivial while
+// the wire codec handles label encoding and compression.
+
+// Name is a canonicalized domain name ("example.com", root is "").
+type Name string
+
+// Root is the DNS root name.
+const Root Name = ""
+
+// Errors returned by name validation.
+var (
+	ErrNameTooLong  = errors.New("dns: name exceeds 255 octets")
+	ErrLabelTooLong = errors.New("dns: label exceeds 63 octets")
+	ErrEmptyLabel   = errors.New("dns: empty label")
+	ErrBadLabel     = errors.New("dns: label contains invalid character")
+)
+
+// CanonicalName lowercases s and strips a single trailing dot. It does not
+// validate; use ParseName for untrusted input.
+func CanonicalName(s string) Name {
+	s = strings.TrimSuffix(s, ".")
+	return Name(strings.ToLower(s))
+}
+
+// ParseName canonicalizes and validates a presentation-form domain name.
+func ParseName(s string) (Name, error) {
+	n := CanonicalName(s)
+	if err := n.Validate(); err != nil {
+		return Root, err
+	}
+	return n, nil
+}
+
+// MustParseName is ParseName for static names; it panics on invalid input.
+func MustParseName(s string) Name {
+	n, err := ParseName(s)
+	if err != nil {
+		panic(err)
+	}
+	return n
+}
+
+// Validate checks RFC 1035 length limits and a permissive LDH-plus character
+// set (letters, digits, hyphen, underscore; underscore appears in real DNS
+// for SRV/DKIM-style names).
+func (n Name) Validate() error {
+	if n == Root {
+		return nil
+	}
+	// Wire length: each label costs len+1, plus the terminating root octet.
+	if len(n)+2 > 255 {
+		return ErrNameTooLong
+	}
+	for _, label := range n.Labels() {
+		if label == "" {
+			return ErrEmptyLabel
+		}
+		if len(label) > 63 {
+			return ErrLabelTooLong
+		}
+		if label == "*" {
+			continue // wildcard owner label
+		}
+		for i := 0; i < len(label); i++ {
+			c := label[i]
+			switch {
+			case c >= 'a' && c <= 'z':
+			case c >= '0' && c <= '9':
+			case c == '-' || c == '_':
+			default:
+				return fmt.Errorf("%w: %q in %q", ErrBadLabel, c, string(n))
+			}
+		}
+	}
+	return nil
+}
+
+// String returns the presentation form with a trailing dot for the root-aware
+// display used by dnsq and zone serialization.
+func (n Name) String() string {
+	if n == Root {
+		return "."
+	}
+	return string(n) + "."
+}
+
+// Labels splits the name into its labels, most-specific first. The root name
+// has no labels.
+func (n Name) Labels() []string {
+	if n == Root {
+		return nil
+	}
+	return strings.Split(string(n), ".")
+}
+
+// CountLabels returns the number of labels in n.
+func (n Name) CountLabels() int {
+	if n == Root {
+		return 0
+	}
+	return strings.Count(string(n), ".") + 1
+}
+
+// Parent returns the name with the leftmost label removed. Parent of a
+// single-label name is the root; parent of the root is the root.
+func (n Name) Parent() Name {
+	if n == Root {
+		return Root
+	}
+	if i := strings.IndexByte(string(n), '.'); i >= 0 {
+		return n[i+1:]
+	}
+	return Root
+}
+
+// IsSubdomainOf reports whether n is equal to or underneath zone.
+// Every name is a subdomain of the root.
+func (n Name) IsSubdomainOf(zone Name) bool {
+	if zone == Root {
+		return true
+	}
+	if n == zone {
+		return true
+	}
+	return strings.HasSuffix(string(n), "."+string(zone))
+}
+
+// IsProperSubdomainOf reports whether n is strictly underneath zone.
+func (n Name) IsProperSubdomainOf(zone Name) bool {
+	return n != zone && n.IsSubdomainOf(zone)
+}
+
+// Child prepends a label to n.
+func (n Name) Child(label string) Name {
+	label = strings.ToLower(label)
+	if n == Root {
+		return Name(label)
+	}
+	return Name(label + "." + string(n))
+}
+
+// TLD returns the rightmost label of n, or the root for the root name.
+func (n Name) TLD() Name {
+	if n == Root {
+		return Root
+	}
+	if i := strings.LastIndexByte(string(n), '.'); i >= 0 {
+		return n[i+1:]
+	}
+	return n
+}
+
+// SLD returns the registrable-looking two-label suffix of n ("example.com"
+// for "www.example.com"). For shorter names it returns n itself. Callers that
+// need public-suffix-aware registrable domains should use internal/psl.
+func (n Name) SLD() Name {
+	labels := n.Labels()
+	if len(labels) <= 2 {
+		return n
+	}
+	return Name(strings.Join(labels[len(labels)-2:], "."))
+}
+
+// packName appends the wire encoding of n to buf, using and updating the
+// compression map (suffix name -> offset). A nil map disables compression.
+func packName(buf []byte, n Name, compress map[Name]int) ([]byte, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	for n != Root {
+		if compress != nil {
+			if off, ok := compress[n]; ok && off < 0x3FFF {
+				return append(buf, 0xC0|byte(off>>8), byte(off)), nil
+			}
+			if len(buf) < 0x3FFF {
+				compress[n] = len(buf)
+			}
+		}
+		label := string(n)
+		rest := Root
+		if i := strings.IndexByte(label, '.'); i >= 0 {
+			label, rest = label[:i], n[i+1:]
+		}
+		buf = append(buf, byte(len(label)))
+		buf = append(buf, label...)
+		n = rest
+	}
+	return append(buf, 0), nil
+}
+
+// unpackName decodes a possibly-compressed name starting at off. It returns
+// the name and the offset of the first byte after the name in the original
+// stream (compression pointers do not advance the stream past the pointer).
+func unpackName(msg []byte, off int) (Name, int, error) {
+	var sb strings.Builder
+	ptrBudget := 64 // defends against pointer loops
+	end := -1       // offset after the name in the top-level stream
+	for {
+		if off >= len(msg) {
+			return Root, 0, errors.New("dns: truncated name")
+		}
+		b := msg[off]
+		switch {
+		case b == 0:
+			if end < 0 {
+				end = off + 1
+			}
+			name := CanonicalName(sb.String())
+			if err := name.Validate(); err != nil {
+				return Root, 0, err
+			}
+			return name, end, nil
+		case b&0xC0 == 0xC0:
+			if off+1 >= len(msg) {
+				return Root, 0, errors.New("dns: truncated compression pointer")
+			}
+			if end < 0 {
+				end = off + 2
+			}
+			ptr := int(b&0x3F)<<8 | int(msg[off+1])
+			if ptr >= off {
+				return Root, 0, errors.New("dns: forward compression pointer")
+			}
+			ptrBudget--
+			if ptrBudget <= 0 {
+				return Root, 0, errors.New("dns: compression pointer loop")
+			}
+			off = ptr
+		case b&0xC0 != 0:
+			return Root, 0, fmt.Errorf("dns: reserved label type 0x%x", b&0xC0)
+		default:
+			n := int(b)
+			if off+1+n > len(msg) {
+				return Root, 0, errors.New("dns: truncated label")
+			}
+			if sb.Len() > 0 {
+				sb.WriteByte('.')
+			}
+			sb.Write(msg[off+1 : off+1+n])
+			off += 1 + n
+			if sb.Len() > 255 {
+				return Root, 0, ErrNameTooLong
+			}
+		}
+	}
+}

@@ -1,0 +1,218 @@
+package dns
+
+import (
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// Presentation-format parsing: a pragmatic subset of RFC 1035 master-file
+// syntax, enough to express every record the reproduction uses. One record
+// per line:
+//
+//	owner TTL CLASS TYPE rdata...
+//
+// TTL and CLASS are optional (defaulting to 3600 and IN). TXT rdata accepts
+// quoted strings; everything else is whitespace-separated fields.
+
+// ParseRR parses one presentation-format resource record.
+func ParseRR(line string) (RR, error) {
+	fields, err := splitFields(line)
+	if err != nil {
+		return RR{}, err
+	}
+	if len(fields) < 2 {
+		return RR{}, fmt.Errorf("dns: record %q has too few fields", line)
+	}
+	var rr RR
+	if rr.Name, err = ParseName(fields[0]); err != nil {
+		return RR{}, fmt.Errorf("dns: bad owner in %q: %w", line, err)
+	}
+	fields = fields[1:]
+	rr.TTL = 3600
+	rr.Class = ClassINET
+	// Optional TTL.
+	if ttl, err := strconv.ParseUint(fields[0], 10, 32); err == nil {
+		rr.TTL = uint32(ttl)
+		fields = fields[1:]
+	}
+	// Optional class.
+	if len(fields) > 0 && (fields[0] == "IN" || fields[0] == "CH" || fields[0] == "ANY") {
+		switch fields[0] {
+		case "IN":
+			rr.Class = ClassINET
+		case "CH":
+			rr.Class = ClassCH
+		case "ANY":
+			rr.Class = ClassANY
+		}
+		fields = fields[1:]
+	}
+	if len(fields) == 0 {
+		return RR{}, fmt.Errorf("dns: record %q missing type", line)
+	}
+	t, err := ParseType(fields[0])
+	if err != nil {
+		return RR{}, err
+	}
+	fields = fields[1:]
+	rr.Data, err = parseRData(t, fields)
+	if err != nil {
+		return RR{}, fmt.Errorf("dns: record %q: %w", line, err)
+	}
+	return rr, nil
+}
+
+// MustParseRR is ParseRR for static records; it panics on error.
+func MustParseRR(line string) RR {
+	rr, err := ParseRR(line)
+	if err != nil {
+		panic(err)
+	}
+	return rr
+}
+
+func parseRData(t Type, fields []string) (RData, error) {
+	need := func(n int) error {
+		if len(fields) != n {
+			return fmt.Errorf("%s rdata wants %d fields, got %d", t, n, len(fields))
+		}
+		return nil
+	}
+	switch t {
+	case TypeA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil || !addr.Is4() {
+			return nil, fmt.Errorf("bad IPv4 address %q", fields[0])
+		}
+		return &A{Addr: addr}, nil
+	case TypeAAAA:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		addr, err := netip.ParseAddr(fields[0])
+		if err != nil || !addr.Is6() || addr.Is4In6() {
+			return nil, fmt.Errorf("bad IPv6 address %q", fields[0])
+		}
+		return &AAAA{Addr: addr}, nil
+	case TypeNS:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n, err := ParseName(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		return &NS{Host: n}, nil
+	case TypeCNAME:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n, err := ParseName(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		return &CNAME{Target: n}, nil
+	case TypePTR:
+		if err := need(1); err != nil {
+			return nil, err
+		}
+		n, err := ParseName(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		return &PTR{Target: n}, nil
+	case TypeMX:
+		if err := need(2); err != nil {
+			return nil, err
+		}
+		pref, err := strconv.ParseUint(fields[0], 10, 16)
+		if err != nil {
+			return nil, fmt.Errorf("bad MX preference %q", fields[0])
+		}
+		host, err := ParseName(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		return &MX{Preference: uint16(pref), Host: host}, nil
+	case TypeSOA:
+		if err := need(7); err != nil {
+			return nil, err
+		}
+		mname, err := ParseName(fields[0])
+		if err != nil {
+			return nil, err
+		}
+		rname, err := ParseName(fields[1])
+		if err != nil {
+			return nil, err
+		}
+		var nums [5]uint32
+		for i := 0; i < 5; i++ {
+			v, err := strconv.ParseUint(fields[2+i], 10, 32)
+			if err != nil {
+				return nil, fmt.Errorf("bad SOA field %q", fields[2+i])
+			}
+			nums[i] = uint32(v)
+		}
+		return &SOA{MName: mname, RName: rname, Serial: nums[0],
+			Refresh: nums[1], Retry: nums[2], Expire: nums[3], Minimum: nums[4]}, nil
+	case TypeTXT:
+		if len(fields) == 0 {
+			return nil, fmt.Errorf("TXT rdata needs at least one string")
+		}
+		return &TXT{Strings: fields}, nil
+	default:
+		return nil, fmt.Errorf("unsupported presentation type %s", t)
+	}
+}
+
+// splitFields tokenizes a record line, honouring double-quoted strings
+// (used for TXT rdata) and stripping ';' comments outside quotes.
+func splitFields(line string) ([]string, error) {
+	var fields []string
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		if cur.Len() > 0 {
+			fields = append(fields, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(line); i++ {
+		c := line[i]
+		switch {
+		case c == '"':
+			if inQuote {
+				// Always emit the string, even if empty.
+				fields = append(fields, cur.String())
+				cur.Reset()
+				inQuote = false
+			} else {
+				flush()
+				inQuote = true
+			}
+		case inQuote && c == '\\' && i+1 < len(line):
+			i++
+			cur.WriteByte(line[i])
+		case inQuote:
+			cur.WriteByte(c)
+		case c == ';':
+			flush()
+			return fields, nil
+		case c == ' ' || c == '\t':
+			flush()
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	if inQuote {
+		return nil, fmt.Errorf("dns: unterminated quoted string in %q", line)
+	}
+	flush()
+	return fields, nil
+}

@@ -1,0 +1,328 @@
+package dns
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"strconv"
+	"strings"
+)
+
+// RData is the type-specific payload of a resource record.
+//
+// Implementations pack themselves into wire format (with access to the
+// message-wide compression map, since NS/CNAME/SOA/MX/PTR targets are
+// compressible) and render a presentation form compatible with zone files.
+type RData interface {
+	// Type returns the RR type this payload belongs to.
+	Type() Type
+	// pack appends the RDATA wire encoding to buf.
+	pack(buf []byte, compress map[Name]int) ([]byte, error)
+	// String returns the zone-file presentation of the payload.
+	String() string
+}
+
+// unpackRData decodes the RDATA section of a record of the given type.
+func unpackRData(t Type, msg []byte, off, rdlen int) (RData, error) {
+	if off+rdlen > len(msg) {
+		return nil, errors.New("dns: truncated rdata")
+	}
+	switch t {
+	case TypeA:
+		if rdlen != 4 {
+			return nil, fmt.Errorf("dns: A rdata length %d", rdlen)
+		}
+		addr, _ := netip.AddrFromSlice(msg[off : off+4])
+		return &A{Addr: addr}, nil
+	case TypeAAAA:
+		if rdlen != 16 {
+			return nil, fmt.Errorf("dns: AAAA rdata length %d", rdlen)
+		}
+		addr, _ := netip.AddrFromSlice(msg[off : off+16])
+		return &AAAA{Addr: addr}, nil
+	case TypeNS:
+		n, _, err := unpackName(msg, off)
+		return &NS{Host: n}, err
+	case TypeCNAME:
+		n, _, err := unpackName(msg, off)
+		return &CNAME{Target: n}, err
+	case TypePTR:
+		n, _, err := unpackName(msg, off)
+		return &PTR{Target: n}, err
+	case TypeMX:
+		if rdlen < 3 {
+			return nil, errors.New("dns: short MX rdata")
+		}
+		pref := uint16(msg[off])<<8 | uint16(msg[off+1])
+		n, _, err := unpackName(msg, off+2)
+		return &MX{Preference: pref, Host: n}, err
+	case TypeSOA:
+		return unpackSOA(msg, off)
+	case TypeTXT:
+		return unpackTXT(msg, off, rdlen)
+	case TypeOPT:
+		raw := make([]byte, rdlen)
+		copy(raw, msg[off:off+rdlen])
+		return &OPT{Options: raw}, nil
+	default:
+		raw := make([]byte, rdlen)
+		copy(raw, msg[off:off+rdlen])
+		return &Unknown{T: t, Data: raw}, nil
+	}
+}
+
+// A is an IPv4 address record.
+type A struct {
+	Addr netip.Addr
+}
+
+// Type implements RData.
+func (a *A) Type() Type { return TypeA }
+
+func (a *A) pack(buf []byte, _ map[Name]int) ([]byte, error) {
+	if !a.Addr.Is4() {
+		return nil, fmt.Errorf("dns: A record with non-IPv4 address %v", a.Addr)
+	}
+	b := a.Addr.As4()
+	return append(buf, b[:]...), nil
+}
+
+// String implements RData.
+func (a *A) String() string { return a.Addr.String() }
+
+// AAAA is an IPv6 address record.
+type AAAA struct {
+	Addr netip.Addr
+}
+
+// Type implements RData.
+func (a *AAAA) Type() Type { return TypeAAAA }
+
+func (a *AAAA) pack(buf []byte, _ map[Name]int) ([]byte, error) {
+	if !a.Addr.Is6() || a.Addr.Is4In6() {
+		return nil, fmt.Errorf("dns: AAAA record with non-IPv6 address %v", a.Addr)
+	}
+	b := a.Addr.As16()
+	return append(buf, b[:]...), nil
+}
+
+// String implements RData.
+func (a *AAAA) String() string { return a.Addr.String() }
+
+// NS names an authoritative nameserver for the owner domain.
+type NS struct {
+	Host Name
+}
+
+// Type implements RData.
+func (n *NS) Type() Type { return TypeNS }
+
+func (n *NS) pack(buf []byte, compress map[Name]int) ([]byte, error) {
+	return packName(buf, n.Host, compress)
+}
+
+// String implements RData.
+func (n *NS) String() string { return n.Host.String() }
+
+// CNAME is a canonical-name alias.
+type CNAME struct {
+	Target Name
+}
+
+// Type implements RData.
+func (c *CNAME) Type() Type { return TypeCNAME }
+
+func (c *CNAME) pack(buf []byte, compress map[Name]int) ([]byte, error) {
+	return packName(buf, c.Target, compress)
+}
+
+// String implements RData.
+func (c *CNAME) String() string { return c.Target.String() }
+
+// PTR is a reverse-mapping pointer.
+type PTR struct {
+	Target Name
+}
+
+// Type implements RData.
+func (p *PTR) Type() Type { return TypePTR }
+
+func (p *PTR) pack(buf []byte, compress map[Name]int) ([]byte, error) {
+	return packName(buf, p.Target, compress)
+}
+
+// String implements RData.
+func (p *PTR) String() string { return p.Target.String() }
+
+// MX names a mail exchanger with a preference.
+type MX struct {
+	Preference uint16
+	Host       Name
+}
+
+// Type implements RData.
+func (m *MX) Type() Type { return TypeMX }
+
+func (m *MX) pack(buf []byte, compress map[Name]int) ([]byte, error) {
+	buf = append(buf, byte(m.Preference>>8), byte(m.Preference))
+	return packName(buf, m.Host, compress)
+}
+
+// String implements RData.
+func (m *MX) String() string {
+	return fmt.Sprintf("%d %s", m.Preference, m.Host)
+}
+
+// SOA is the start-of-authority record of a zone.
+type SOA struct {
+	MName   Name // primary nameserver
+	RName   Name // responsible mailbox, encoded as a name
+	Serial  uint32
+	Refresh uint32
+	Retry   uint32
+	Expire  uint32
+	Minimum uint32
+}
+
+// Type implements RData.
+func (s *SOA) Type() Type { return TypeSOA }
+
+func (s *SOA) pack(buf []byte, compress map[Name]int) ([]byte, error) {
+	var err error
+	if buf, err = packName(buf, s.MName, compress); err != nil {
+		return nil, err
+	}
+	if buf, err = packName(buf, s.RName, compress); err != nil {
+		return nil, err
+	}
+	for _, v := range [...]uint32{s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum} {
+		buf = append(buf, byte(v>>24), byte(v>>16), byte(v>>8), byte(v))
+	}
+	return buf, nil
+}
+
+func unpackSOA(msg []byte, off int) (RData, error) {
+	var s SOA
+	var err error
+	if s.MName, off, err = unpackName(msg, off); err != nil {
+		return nil, err
+	}
+	if s.RName, off, err = unpackName(msg, off); err != nil {
+		return nil, err
+	}
+	if off+20 > len(msg) {
+		return nil, errors.New("dns: truncated SOA")
+	}
+	get := func() uint32 {
+		v := uint32(msg[off])<<24 | uint32(msg[off+1])<<16 | uint32(msg[off+2])<<8 | uint32(msg[off+3])
+		off += 4
+		return v
+	}
+	s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum = get(), get(), get(), get(), get()
+	return &s, nil
+}
+
+// String implements RData.
+func (s *SOA) String() string {
+	return fmt.Sprintf("%s %s %d %d %d %d %d",
+		s.MName, s.RName, s.Serial, s.Refresh, s.Retry, s.Expire, s.Minimum)
+}
+
+// TXT carries one or more character strings. Each string is at most 255
+// octets on the wire; longer logical values are split across strings.
+type TXT struct {
+	Strings []string
+}
+
+// NewTXT builds a TXT payload from a single logical string, splitting it into
+// 255-octet chunks as the wire format requires.
+func NewTXT(s string) *TXT {
+	var chunks []string
+	for len(s) > 255 {
+		chunks = append(chunks, s[:255])
+		s = s[255:]
+	}
+	chunks = append(chunks, s)
+	return &TXT{Strings: chunks}
+}
+
+// Type implements RData.
+func (t *TXT) Type() Type { return TypeTXT }
+
+// Joined returns the concatenation of all character strings, which is how
+// SPF/DKIM/DMARC consumers interpret multi-string TXT records.
+func (t *TXT) Joined() string { return strings.Join(t.Strings, "") }
+
+func (t *TXT) pack(buf []byte, _ map[Name]int) ([]byte, error) {
+	if len(t.Strings) == 0 {
+		return append(buf, 0), nil // single empty string
+	}
+	for _, s := range t.Strings {
+		if len(s) > 255 {
+			return nil, fmt.Errorf("dns: TXT string exceeds 255 octets (%d)", len(s))
+		}
+		buf = append(buf, byte(len(s)))
+		buf = append(buf, s...)
+	}
+	return buf, nil
+}
+
+func unpackTXT(msg []byte, off, rdlen int) (RData, error) {
+	end := off + rdlen
+	var t TXT
+	for off < end {
+		n := int(msg[off])
+		off++
+		if off+n > end {
+			return nil, errors.New("dns: truncated TXT string")
+		}
+		t.Strings = append(t.Strings, string(msg[off:off+n]))
+		off += n
+	}
+	return &t, nil
+}
+
+// String implements RData.
+func (t *TXT) String() string {
+	parts := make([]string, len(t.Strings))
+	for i, s := range t.Strings {
+		parts[i] = strconv.Quote(s)
+	}
+	return strings.Join(parts, " ")
+}
+
+// OPT is the EDNS0 pseudo-record payload (RFC 6891). The UDP payload size and
+// extended flags live in the RR's Class and TTL fields; Options carries the
+// raw option list, which this reproduction does not interpret.
+type OPT struct {
+	Options []byte
+}
+
+// Type implements RData.
+func (o *OPT) Type() Type { return TypeOPT }
+
+func (o *OPT) pack(buf []byte, _ map[Name]int) ([]byte, error) {
+	return append(buf, o.Options...), nil
+}
+
+// String implements RData.
+func (o *OPT) String() string { return fmt.Sprintf("OPT(%d bytes)", len(o.Options)) }
+
+// Unknown preserves the raw RDATA of types the codec does not model
+// (RFC 3597 behaviour).
+type Unknown struct {
+	T    Type
+	Data []byte
+}
+
+// Type implements RData.
+func (u *Unknown) Type() Type { return u.T }
+
+func (u *Unknown) pack(buf []byte, _ map[Name]int) ([]byte, error) {
+	return append(buf, u.Data...), nil
+}
+
+// String implements RData.
+func (u *Unknown) String() string {
+	return fmt.Sprintf("\\# %d %x", len(u.Data), u.Data)
+}

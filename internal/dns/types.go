@@ -1,0 +1,150 @@
+// Package dns implements the subset of the DNS protocol (RFC 1034/1035 with
+// EDNS0 from RFC 6891) needed by the URHunter reproduction: a full wire-format
+// codec with name compression, the record types observed in the measurement
+// (A, AAAA, NS, CNAME, SOA, PTR, MX, TXT, OPT), and helpers for building
+// queries and responses.
+//
+// The codec is transport-agnostic: internal/dnsio moves packed messages over
+// real UDP/TCP sockets or the simulated network fabric.
+package dns
+
+import "fmt"
+
+// Type is a DNS resource record type (RFC 1035 §3.2.2, RFC 3596).
+type Type uint16
+
+// Record types used throughout the reproduction.
+const (
+	TypeNone  Type = 0
+	TypeA     Type = 1
+	TypeNS    Type = 2
+	TypeCNAME Type = 5
+	TypeSOA   Type = 6
+	TypePTR   Type = 12
+	TypeMX    Type = 15
+	TypeTXT   Type = 16
+	TypeAAAA  Type = 28
+	TypeOPT   Type = 41
+	TypeANY   Type = 255
+)
+
+var typeNames = map[Type]string{
+	TypeNone:  "NONE",
+	TypeA:     "A",
+	TypeNS:    "NS",
+	TypeCNAME: "CNAME",
+	TypeSOA:   "SOA",
+	TypePTR:   "PTR",
+	TypeMX:    "MX",
+	TypeTXT:   "TXT",
+	TypeAAAA:  "AAAA",
+	TypeOPT:   "OPT",
+	TypeANY:   "ANY",
+}
+
+// String returns the standard mnemonic for t, or TYPEn for unknown types
+// (RFC 3597 presentation).
+func (t Type) String() string {
+	if s, ok := typeNames[t]; ok {
+		return s
+	}
+	return fmt.Sprintf("TYPE%d", uint16(t))
+}
+
+// ParseType maps a mnemonic like "TXT" to its Type value.
+func ParseType(s string) (Type, error) {
+	for t, name := range typeNames {
+		if name == s {
+			return t, nil
+		}
+	}
+	return TypeNone, fmt.Errorf("dns: unknown type %q", s)
+}
+
+// Class is a DNS class. Only IN is used in practice.
+type Class uint16
+
+// DNS classes.
+const (
+	ClassINET Class = 1
+	ClassCH   Class = 3
+	ClassANY  Class = 255
+)
+
+// String returns the class mnemonic.
+func (c Class) String() string {
+	switch c {
+	case ClassINET:
+		return "IN"
+	case ClassCH:
+		return "CH"
+	case ClassANY:
+		return "ANY"
+	}
+	return fmt.Sprintf("CLASS%d", uint16(c))
+}
+
+// RCode is a DNS response code (RFC 1035 §4.1.1).
+type RCode uint8
+
+// Response codes.
+const (
+	RCodeSuccess  RCode = 0 // NOERROR
+	RCodeFormat   RCode = 1 // FORMERR
+	RCodeServFail RCode = 2 // SERVFAIL
+	RCodeNXDomain RCode = 3 // NXDOMAIN
+	RCodeNotImp   RCode = 4 // NOTIMP
+	RCodeRefused  RCode = 5 // REFUSED
+)
+
+var rcodeNames = map[RCode]string{
+	RCodeSuccess:  "NOERROR",
+	RCodeFormat:   "FORMERR",
+	RCodeServFail: "SERVFAIL",
+	RCodeNXDomain: "NXDOMAIN",
+	RCodeNotImp:   "NOTIMP",
+	RCodeRefused:  "REFUSED",
+}
+
+// String returns the rcode mnemonic.
+func (r RCode) String() string {
+	if s, ok := rcodeNames[r]; ok {
+		return s
+	}
+	return fmt.Sprintf("RCODE%d", uint8(r))
+}
+
+// OpCode is a DNS operation code.
+type OpCode uint8
+
+// Operation codes.
+const (
+	OpQuery  OpCode = 0
+	OpStatus OpCode = 2
+	OpNotify OpCode = 4
+	OpUpdate OpCode = 5
+)
+
+// String returns the opcode mnemonic.
+func (o OpCode) String() string {
+	switch o {
+	case OpQuery:
+		return "QUERY"
+	case OpStatus:
+		return "STATUS"
+	case OpNotify:
+		return "NOTIFY"
+	case OpUpdate:
+		return "UPDATE"
+	}
+	return fmt.Sprintf("OPCODE%d", uint8(o))
+}
+
+// MaxUDPSize is the classic maximum DNS payload over UDP without EDNS0.
+const MaxUDPSize = 512
+
+// MaxEDNS0Size is the EDNS0 payload size we advertise.
+const MaxEDNS0Size = 4096
+
+// MaxMessageSize is the absolute maximum size of a DNS message over TCP.
+const MaxMessageSize = 65535

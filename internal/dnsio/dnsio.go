@@ -1,0 +1,363 @@
+// Package dnsio moves DNS messages between clients and servers. It provides:
+//
+//   - Client: a query engine with ID generation, response validation, UDP
+//     truncation fallback to TCP, and bounded retries.
+//   - Transport: the byte-moving abstraction under Client, with two
+//     implementations — SimTransport over the internal/simnet fabric, and
+//     NetTransport over real UDP/TCP sockets from the net package.
+//   - Server / SimService: the serving side, adapting a Responder to real
+//     sockets or the fabric, including EDNS0-aware UDP truncation.
+//
+// URHunter runs its measurement sweeps over SimTransport; the examples and
+// integration tests also exercise NetTransport against loopback sockets so
+// the codec is proven over a genuine network path.
+package dnsio
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/dns"
+	"repro/internal/simnet"
+)
+
+// DNSPort is the standard DNS service port.
+const DNSPort = 53
+
+// simTCPPortOffset separates the fabric endpoint carrying TCP-semantics
+// exchanges from the UDP-semantics endpoint on the same IP.
+const simTCPPortOffset = 10000
+
+// Transport moves one packed DNS message to a server and returns the packed
+// response. tcp selects reliable (no truncation) semantics.
+type Transport interface {
+	Exchange(ctx context.Context, server netip.AddrPort, packed []byte, tcp bool) ([]byte, error)
+}
+
+// Errors returned by the client.
+var (
+	ErrIDMismatch       = errors.New("dnsio: response ID does not match query")
+	ErrQuestionMismatch = errors.New("dnsio: response question does not match query")
+	ErrNotResponse      = errors.New("dnsio: message is not a response")
+)
+
+// Client issues DNS queries over a Transport.
+type Client struct {
+	Transport Transport
+	// Retries is the number of additional attempts after a timeout.
+	Retries int
+	// Timeout bounds each attempt when the context has no deadline.
+	Timeout time.Duration
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewClient builds a client with sane defaults over the given transport.
+func NewClient(t Transport) *Client {
+	return &Client{
+		Transport: t,
+		Retries:   2,
+		Timeout:   3 * time.Second,
+		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
+	}
+}
+
+// SeedIDs makes query-ID generation deterministic (for tests).
+func (c *Client) SeedIDs(seed int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rng = rand.New(rand.NewSource(seed))
+}
+
+func (c *Client) nextID() uint16 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.rng == nil {
+		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	return uint16(c.rng.Uint32())
+}
+
+// Query sends a (name, type) question to server and returns the validated
+// response.
+func (c *Client) Query(ctx context.Context, server netip.AddrPort, name dns.Name, t dns.Type) (*dns.Message, error) {
+	return c.Exchange(ctx, server, dns.NewQuery(c.nextID(), name, t))
+}
+
+// Exchange sends a prepared query. If the UDP response has TC set, the query
+// is retried over TCP, mirroring standard resolver behaviour.
+func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Message) (*dns.Message, error) {
+	if q.Header.ID == 0 {
+		q.Header.ID = c.nextID()
+	}
+	packed, err := q.Pack()
+	if err != nil {
+		return nil, fmt.Errorf("dnsio: pack query: %w", err)
+	}
+	// Deadline management only matters for transports that can block on
+	// real I/O; the in-memory fabric completes synchronously.
+	if c.Timeout > 0 && !isInstant(c.Transport) {
+		if _, has := ctx.Deadline(); !has {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, c.Timeout)
+			defer cancel()
+		}
+	}
+	var lastErr error
+	for attempt := 0; attempt <= c.Retries; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		raw, err := c.Transport.Exchange(ctx, server, packed, false)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		resp, err := c.validate(q, raw)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if resp.Header.Truncated {
+			raw, err = c.Transport.Exchange(ctx, server, packed, true)
+			if err != nil {
+				lastErr = err
+				continue
+			}
+			if resp, err = c.validate(q, raw); err != nil {
+				lastErr = err
+				continue
+			}
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("dnsio: exchange with %s failed: %w", server, lastErr)
+}
+
+func (c *Client) validate(q *dns.Message, raw []byte) (*dns.Message, error) {
+	resp, err := dns.Unpack(raw)
+	if err != nil {
+		return nil, err
+	}
+	if !resp.Header.Response {
+		return nil, ErrNotResponse
+	}
+	if resp.Header.ID != q.Header.ID {
+		return nil, ErrIDMismatch
+	}
+	if len(resp.Questions) > 0 && resp.Question() != q.Question() {
+		return nil, ErrQuestionMismatch
+	}
+	return resp, nil
+}
+
+// Responder is the server-side query handler.
+type Responder interface {
+	HandleQuery(src netip.Addr, q *dns.Message) *dns.Message
+}
+
+// ResponderFunc adapts a function to Responder.
+type ResponderFunc func(src netip.Addr, q *dns.Message) *dns.Message
+
+// HandleQuery implements Responder.
+func (f ResponderFunc) HandleQuery(src netip.Addr, q *dns.Message) *dns.Message {
+	return f(src, q)
+}
+
+// udpPayloadSize extracts the EDNS0-advertised payload size from a query,
+// defaulting to the classic 512 octets.
+func udpPayloadSize(q *dns.Message) int {
+	for _, rr := range q.Additional {
+		if rr.Type() == dns.TypeOPT {
+			size := int(rr.Class)
+			if size < dns.MaxUDPSize {
+				size = dns.MaxUDPSize
+			}
+			if size > dns.MaxEDNS0Size {
+				size = dns.MaxEDNS0Size
+			}
+			return size
+		}
+	}
+	return dns.MaxUDPSize
+}
+
+// serveBytes is the shared serve path: unpack, dispatch, pack (honouring UDP
+// truncation when tcp is false). Malformed queries yield FORMERR when the
+// header survives, nothing otherwise.
+func serveBytes(r Responder, src netip.Addr, raw []byte, tcp bool) []byte {
+	q, err := dns.Unpack(raw)
+	if err != nil {
+		if len(raw) >= 12 {
+			bad := &dns.Message{}
+			bad.Header.ID = uint16(raw[0])<<8 | uint16(raw[1])
+			bad.Header.Response = true
+			bad.Header.RCode = dns.RCodeFormat
+			out, _ := bad.Pack()
+			return out
+		}
+		return nil
+	}
+	resp := r.HandleQuery(src, q)
+	if resp == nil {
+		return nil
+	}
+	var out []byte
+	if tcp {
+		out, err = resp.Pack()
+	} else {
+		out, err = resp.PackTruncated(udpPayloadSize(q))
+	}
+	if err != nil {
+		fail := q.Reply()
+		fail.Header.RCode = dns.RCodeServFail
+		out, _ = fail.Pack()
+	}
+	return out
+}
+
+// AttachSim registers a responder on the fabric at addr:53 (UDP semantics)
+// and the paired reliable endpoint (TCP semantics). It returns a detach
+// function.
+func AttachSim(f *simnet.Fabric, addr netip.Addr, r Responder) (func(), error) {
+	udp := simnet.Endpoint{Addr: addr, Port: DNSPort}
+	tcp := simnet.Endpoint{Addr: addr, Port: DNSPort + simTCPPortOffset}
+	uh := simnet.HandlerFunc(func(src netip.Addr, raw []byte) []byte {
+		return serveBytes(r, src, raw, false)
+	})
+	th := simnet.HandlerFunc(func(src netip.Addr, raw []byte) []byte {
+		return serveBytes(r, src, raw, true)
+	})
+	if err := f.Listen(udp, uh); err != nil {
+		return nil, err
+	}
+	if err := f.Listen(tcp, th); err != nil {
+		f.Unlisten(udp)
+		return nil, err
+	}
+	return func() {
+		f.Unlisten(udp)
+		f.Unlisten(tcp)
+	}, nil
+}
+
+// instantTransport marks transports that never block on real I/O, letting
+// the client skip per-query deadline plumbing.
+type instantTransport interface {
+	Instant() bool
+}
+
+func isInstant(t Transport) bool {
+	it, ok := t.(instantTransport)
+	return ok && it.Instant()
+}
+
+// SimTransport is a Transport over the fabric.
+type SimTransport struct {
+	Fabric *simnet.Fabric
+	// Src is the client's IP on the fabric.
+	Src netip.Addr
+}
+
+// Instant implements instantTransport: fabric exchanges are synchronous
+// function calls.
+func (t *SimTransport) Instant() bool { return true }
+
+// Exchange implements Transport.
+func (t *SimTransport) Exchange(_ context.Context, server netip.AddrPort, packed []byte, tcp bool) ([]byte, error) {
+	ep := simnet.Endpoint{Addr: server.Addr(), Port: server.Port()}
+	if tcp {
+		ep.Port += simTCPPortOffset
+		return t.Fabric.ExchangeReliable(t.Src, ep, packed)
+	}
+	return t.Fabric.Exchange(t.Src, ep, packed, 0)
+}
+
+// NetTransport is a Transport over real UDP and TCP sockets.
+type NetTransport struct {
+	// DialTimeout bounds connection setup for TCP exchanges.
+	DialTimeout time.Duration
+}
+
+// Exchange implements Transport.
+func (t *NetTransport) Exchange(ctx context.Context, server netip.AddrPort, packed []byte, tcp bool) ([]byte, error) {
+	if tcp {
+		return t.exchangeTCP(ctx, server, packed)
+	}
+	return t.exchangeUDP(ctx, server, packed)
+}
+
+func (t *NetTransport) exchangeUDP(ctx context.Context, server netip.AddrPort, packed []byte) ([]byte, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "udp", server.String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	if _, err := conn.Write(packed); err != nil {
+		return nil, err
+	}
+	buf := make([]byte, dns.MaxEDNS0Size)
+	n, err := conn.Read(buf)
+	if err != nil {
+		return nil, err
+	}
+	return buf[:n], nil
+}
+
+func (t *NetTransport) exchangeTCP(ctx context.Context, server netip.AddrPort, packed []byte) ([]byte, error) {
+	d := net.Dialer{Timeout: t.DialTimeout}
+	conn, err := d.DialContext(ctx, "tcp", server.String())
+	if err != nil {
+		return nil, err
+	}
+	defer conn.Close()
+	if deadline, ok := ctx.Deadline(); ok {
+		_ = conn.SetDeadline(deadline)
+	}
+	if err := writeTCPMessage(conn, packed); err != nil {
+		return nil, err
+	}
+	return readTCPMessage(conn)
+}
+
+// writeTCPMessage writes the RFC 1035 §4.2.2 two-octet length prefix followed
+// by the message.
+func writeTCPMessage(w io.Writer, msg []byte) error {
+	if len(msg) > dns.MaxMessageSize {
+		return errors.New("dnsio: message too large for TCP framing")
+	}
+	hdr := [2]byte{}
+	binary.BigEndian.PutUint16(hdr[:], uint16(len(msg)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(msg)
+	return err
+}
+
+// readTCPMessage reads one length-prefixed DNS message.
+func readTCPMessage(r io.Reader) ([]byte, error) {
+	var hdr [2]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint16(hdr[:])
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}

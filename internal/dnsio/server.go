@@ -1,0 +1,158 @@
+package dnsio
+
+import (
+	"errors"
+	"net"
+	"net/netip"
+	"sync"
+
+	"repro/internal/dns"
+)
+
+// Server serves a Responder on real UDP and TCP sockets. It exists so the
+// reproduction's DNS stack can be driven by any standard client (dig, the
+// cmd/dnsq tool, the examples) — the simulated fabric is an optimization, not
+// a semantic shortcut.
+type Server struct {
+	responder Responder
+
+	mu       sync.Mutex
+	pc       net.PacketConn
+	ln       net.Listener
+	closed   bool
+	wg       sync.WaitGroup
+	udpAddr  netip.AddrPort
+	tcpAddr  netip.AddrPort
+	started  bool
+	closeErr error
+}
+
+// NewServer wraps a responder.
+func NewServer(r Responder) *Server {
+	return &Server{responder: r}
+}
+
+// Start binds UDP and TCP sockets on the given address ("127.0.0.1:0" picks
+// ephemeral ports) and begins serving in background goroutines.
+func (s *Server) Start(addr string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("dnsio: server already started")
+	}
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		return err
+	}
+	udpAP := pc.LocalAddr().(*net.UDPAddr).AddrPort()
+	// Bind TCP on the same host and port as UDP when possible.
+	ln, err := net.Listen("tcp", udpAP.String())
+	if err != nil {
+		// Ephemeral collision: fall back to any port on the same host.
+		ln, err = net.Listen("tcp", net.JoinHostPort(udpAP.Addr().String(), "0"))
+		if err != nil {
+			pc.Close()
+			return err
+		}
+	}
+	s.pc, s.ln = pc, ln
+	s.udpAddr = udpAP
+	s.tcpAddr = ln.Addr().(*net.TCPAddr).AddrPort()
+	s.started = true
+
+	s.wg.Add(2)
+	go s.serveUDP()
+	go s.serveTCP()
+	return nil
+}
+
+// UDPAddr returns the bound UDP address.
+func (s *Server) UDPAddr() netip.AddrPort {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.udpAddr
+}
+
+// TCPAddr returns the bound TCP address.
+func (s *Server) TCPAddr() netip.AddrPort {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tcpAddr
+}
+
+func (s *Server) serveUDP() {
+	defer s.wg.Done()
+	buf := make([]byte, dns.MaxEDNS0Size)
+	for {
+		n, raddr, err := s.pc.ReadFrom(buf)
+		if err != nil {
+			return // closed
+		}
+		pkt := make([]byte, n)
+		copy(pkt, buf[:n])
+		src := netip.Addr{}
+		if ua, ok := raddr.(*net.UDPAddr); ok {
+			src = ua.AddrPort().Addr()
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			if out := serveBytes(s.responder, src, pkt, false); out != nil {
+				_, _ = s.pc.WriteTo(out, raddr)
+			}
+		}()
+	}
+}
+
+func (s *Server) serveTCP() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // closed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer conn.Close()
+			src := netip.Addr{}
+			if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
+				src = ta.AddrPort().Addr()
+			}
+			for {
+				raw, err := readTCPMessage(conn)
+				if err != nil {
+					return
+				}
+				out := serveBytes(s.responder, src, raw, true)
+				if out == nil {
+					return
+				}
+				if err := writeTCPMessage(conn, out); err != nil {
+					return
+				}
+			}
+		}()
+	}
+}
+
+// Close shuts the sockets and waits for in-flight handlers.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if !s.started || s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	if s.pc != nil {
+		s.closeErr = s.pc.Close()
+	}
+	if s.ln != nil {
+		if err := s.ln.Close(); err != nil && s.closeErr == nil {
+			s.closeErr = err
+		}
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return s.closeErr
+}

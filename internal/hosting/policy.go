@@ -1,0 +1,169 @@
+// Package hosting models DNS hosting providers: the nameserver fleets,
+// account portals, and — centrally for this paper — the hosting policies of
+// Appendix C that decide whether an attacker can create a zone for a domain
+// they do not own. Every axis of Table 2 is a knob here: nameserver
+// allocation (global-fixed / account-fixed / random pool), ownership
+// verification, supported domain categories (unregistered / subdomain / SLD /
+// eTLD with reserved lists), duplicate-zone rules, and domain retrieval.
+//
+// The mitigation options from §6 are implemented as verification modes:
+// VerifyNSDelegation is option (1) — check the TLD's NS records point at the
+// assigned nameservers; VerifyTXTChallenge is option (2) — require a random
+// token in the domain's real zone, fetched through normal resolution.
+package hosting
+
+import (
+	"repro/internal/dns"
+)
+
+// NSAllocation is the nameserver-assignment policy from Table 2.
+type NSAllocation int
+
+// Allocation policies.
+const (
+	// GlobalFixed: every customer gets the same nameservers (Godaddy,
+	// Alibaba, Baidu, ClouDNS).
+	GlobalFixed NSAllocation = iota
+	// AccountFixed: each account gets its own fixed set (Cloudflare,
+	// Tencent); different users hosting the same domain get different sets.
+	AccountFixed
+	// RandomPool: each zone gets servers drawn at random from a large pool
+	// (Amazon Route 53).
+	RandomPool
+)
+
+// String names the allocation policy as Table 2 does.
+func (a NSAllocation) String() string {
+	switch a {
+	case GlobalFixed:
+		return "global-fixed"
+	case AccountFixed:
+		return "account-fixed"
+	case RandomPool:
+		return "random"
+	}
+	return "unknown"
+}
+
+// Verification is the ownership-verification mode.
+type Verification int
+
+// Verification modes.
+const (
+	// VerifyNone: no ownership verification; zones are served immediately.
+	// This is the pre-disclosure state of every provider in Appendix C.
+	VerifyNone Verification = iota
+	// VerifyNSDelegation: the provider checks that the TLD's NS records for
+	// the domain point at the assigned nameservers before serving the zone
+	// (mitigation option 1; adopted by Tencent DNSPod after disclosure).
+	VerifyNSDelegation
+	// VerifyTXTChallenge: the provider requires a random TXT token resolvable
+	// through the domain's real delegation (mitigation option 2; partially
+	// adopted by Alibaba).
+	VerifyTXTChallenge
+)
+
+// String names the verification mode.
+func (v Verification) String() string {
+	switch v {
+	case VerifyNone:
+		return "none"
+	case VerifyNSDelegation:
+		return "ns-delegation"
+	case VerifyTXTChallenge:
+		return "txt-challenge"
+	}
+	return "unknown"
+}
+
+// Policy is a provider's hosting strategy — one row of Table 2 plus the
+// operational knobs the measurement observes.
+type Policy struct {
+	// Name is the provider's display name.
+	Name string
+	// InfraDomain is the provider's own domain; nameserver hostnames live
+	// under it (ns1.<InfraDomain>).
+	InfraDomain dns.Name
+
+	// NSAllocation selects how nameservers are assigned to zones.
+	NSAllocation NSAllocation
+	// ServerCount is the number of nameserver IPs the provider operates.
+	ServerCount int
+	// NSPerZone is how many nameservers a zone/account is assigned.
+	NSPerZone int
+
+	// Verification is the ownership-verification mode (VerifyNone before
+	// disclosure).
+	Verification Verification
+	// ServeUnverified serves zones that have not passed verification — the
+	// behaviour the paper observed even at providers that "remind" users to
+	// verify: the assigned servers answer anyway.
+	ServeUnverified bool
+
+	// AllowUnregistered permits hosting domains with no registration at all.
+	AllowUnregistered bool
+	// AllowSubdomain permits hosting subdomains of SLDs.
+	AllowSubdomain bool
+	// SubdomainNeedsPaid gates subdomain hosting behind a paid account
+	// (Cloudflare's extra-payment behaviour).
+	SubdomainNeedsPaid bool
+	// AllowSLD permits hosting second-level domains.
+	AllowSLD bool
+	// AllowETLD permits hosting public suffixes (gov.cn and friends).
+	AllowETLD bool
+	// Reserved lists domains refused regardless of category (the
+	// extremely-popular blocklist; Cloudflare expanded it after disclosure).
+	Reserved []dns.Name
+
+	// AllowDuplicateSingleUser lets one account create several zones for the
+	// same domain (Amazon).
+	AllowDuplicateSingleUser bool
+	// AllowDuplicateCrossUser lets different accounts host the same domain
+	// simultaneously (Cloudflare, Amazon, Tencent).
+	AllowDuplicateCrossUser bool
+	// SupportsRetrieval lets a verified owner evict another account's zone
+	// for their domain (Tencent/Alibaba have it; Godaddy/ClouDNS/Amazon do
+	// not — Table 2's "No retrieval" column).
+	SupportsRetrieval bool
+
+	// ProtectiveRecords serves warning records for domains nobody hosts
+	// (prominent at ClouDNS in Figure 2).
+	ProtectiveRecords bool
+	// OpenRecursive makes the nameservers answer unhosted-domain queries by
+	// recursive resolution — the misconfiguration §4 lists as a benign source
+	// of undelegated answers.
+	OpenRecursive bool
+	// PaidSyncAllNS propagates a paid account's zones to every nameserver
+	// the provider operates (Cloudflare's paid-sync behaviour).
+	PaidSyncAllNS bool
+	// CDNEdges gives the provider per-country edge IPs; legitimate customer
+	// zones flagged geo-distributed answer A queries with the edge of the
+	// client's country.
+	CDNEdges bool
+}
+
+// reservedSet compiles the reserved list for fast lookup.
+func (p *Policy) reservedSet() map[dns.Name]bool {
+	m := make(map[dns.Name]bool, len(p.Reserved))
+	for _, d := range p.Reserved {
+		m[d] = true
+	}
+	return m
+}
+
+// RefusalReason explains why CreateZone rejected a request.
+type RefusalReason string
+
+// Refusal reasons surfaced by CreateZone.
+const (
+	RefusedReserved        RefusalReason = "domain is on the provider's reserved list"
+	RefusedUnregistered    RefusalReason = "unregistered domains are not supported"
+	RefusedSubdomain       RefusalReason = "subdomains are not supported"
+	RefusedSubdomainPaid   RefusalReason = "subdomain hosting requires a paid account"
+	RefusedSLD             RefusalReason = "second-level domains are not supported"
+	RefusedETLD            RefusalReason = "public suffixes are not supported"
+	RefusedDuplicateSingle RefusalReason = "account already hosts a zone for this domain"
+	RefusedDuplicateCross  RefusalReason = "another account already hosts this domain"
+	RefusedExhausted       RefusalReason = "no nameserver set available for this domain"
+	RefusedVerification    RefusalReason = "ownership verification failed"
+)

@@ -1,0 +1,143 @@
+package hosting
+
+import "repro/internal/dns"
+
+// Presets encode Table 2: the hosting strategies of the seven mainstream
+// providers the paper investigated, in their pre-disclosure state. Server
+// counts are scaled-down stand-ins for the real fleets (Amazon's pool of
+// 2,006 nameservers becomes a configurable pool; tests use the default
+// below, the full-scale experiment raises it).
+
+// defaultReserved is the "extremely popular domains" blocklist every tested
+// provider applied in some form (google.com is the paper's example).
+var defaultReserved = []dns.Name{
+	"google.com", "facebook.com", "microsoft.com", "amazon.com", "apple.com",
+}
+
+// PresetAlibaba is Alibaba Cloud: global-fixed NS, subdomains allowed,
+// retrieval supported.
+func PresetAlibaba() Policy {
+	return Policy{
+		Name: "Alibaba Cloud", InfraDomain: "alidns.test",
+		NSAllocation: GlobalFixed, ServerCount: 32, NSPerZone: 2,
+		Verification: VerifyNone, ServeUnverified: true,
+		AllowUnregistered: false, AllowSubdomain: true, AllowSLD: true, AllowETLD: true,
+		Reserved:                 defaultReserved,
+		AllowDuplicateSingleUser: false, AllowDuplicateCrossUser: false,
+		SupportsRetrieval: true,
+	}
+}
+
+// PresetAmazon is Amazon Route 53: random pool allocation, unregistered
+// domains and duplicates allowed, no retrieval.
+func PresetAmazon() Policy {
+	return Policy{
+		Name: "Amazon", InfraDomain: "awsdns.test",
+		NSAllocation: RandomPool, ServerCount: 64, NSPerZone: 4,
+		Verification: VerifyNone, ServeUnverified: true,
+		AllowUnregistered: true, AllowSubdomain: true, AllowSLD: true, AllowETLD: true,
+		Reserved:                 defaultReserved,
+		AllowDuplicateSingleUser: true, AllowDuplicateCrossUser: true,
+		SupportsRetrieval: false,
+	}
+}
+
+// PresetBaidu is Baidu Cloud: global-fixed, SLD/eTLD only.
+func PresetBaidu() Policy {
+	return Policy{
+		Name: "Baidu Cloud", InfraDomain: "baidudns.test",
+		NSAllocation: GlobalFixed, ServerCount: 8, NSPerZone: 2,
+		Verification: VerifyNone, ServeUnverified: true,
+		AllowUnregistered: false, AllowSubdomain: false, AllowSLD: true, AllowETLD: true,
+		Reserved:                 defaultReserved,
+		AllowDuplicateSingleUser: false, AllowDuplicateCrossUser: false,
+		SupportsRetrieval: true,
+	}
+}
+
+// PresetClouDNS is ClouDNS: global-fixed, very liberal (unregistered
+// domains, gov.cn), protective records for unhosted domains, no retrieval.
+func PresetClouDNS() Policy {
+	return Policy{
+		Name: "ClouDNS", InfraDomain: "cloudns.test",
+		NSAllocation: GlobalFixed, ServerCount: 8, NSPerZone: 4,
+		Verification: VerifyNone, ServeUnverified: true,
+		AllowUnregistered: true, AllowSubdomain: true, AllowSLD: true, AllowETLD: true,
+		Reserved:                 nil, // the paper found github.com, google.de, gov.cn hostable
+		AllowDuplicateSingleUser: false, AllowDuplicateCrossUser: false,
+		SupportsRetrieval: false,
+		ProtectiveRecords: true,
+	}
+}
+
+// PresetCloudflare is Cloudflare: account-fixed NS, subdomains behind
+// payment, cross-user duplicates with distinct NS sets, paid sync to all
+// nameservers, CDN edges.
+func PresetCloudflare() Policy {
+	return Policy{
+		Name: "Cloudflare", InfraDomain: "cfdns.test",
+		NSAllocation: AccountFixed, ServerCount: 120, NSPerZone: 2,
+		Verification: VerifyNone, ServeUnverified: true,
+		AllowUnregistered: false, AllowSubdomain: true, SubdomainNeedsPaid: true,
+		AllowSLD: true, AllowETLD: true,
+		Reserved:                 defaultReserved,
+		AllowDuplicateSingleUser: false, AllowDuplicateCrossUser: true,
+		SupportsRetrieval: true,
+		PaidSyncAllNS:     true,
+		CDNEdges:          true,
+	}
+}
+
+// PresetGodaddy is Godaddy: global-fixed, subdomains allowed, no retrieval.
+func PresetGodaddy() Policy {
+	return Policy{
+		Name: "Godaddy", InfraDomain: "domaincontrol.test",
+		NSAllocation: GlobalFixed, ServerCount: 16, NSPerZone: 2,
+		Verification: VerifyNone, ServeUnverified: true,
+		AllowUnregistered: false, AllowSubdomain: true, AllowSLD: true, AllowETLD: true,
+		Reserved:                 nil, // google-analytics.com, windowsupdate.com, gov.kp were allowed
+		AllowDuplicateSingleUser: false, AllowDuplicateCrossUser: false,
+		SupportsRetrieval: false,
+	}
+}
+
+// PresetTencent is Tencent Cloud (DNSPod): account-fixed, SLD/eTLD only,
+// cross-user duplicates, retrieval supported.
+func PresetTencent() Policy {
+	return Policy{
+		Name: "Tencent Cloud", InfraDomain: "dnspod.test",
+		NSAllocation: AccountFixed, ServerCount: 24, NSPerZone: 2,
+		Verification: VerifyNone, ServeUnverified: true,
+		AllowUnregistered: false, AllowSubdomain: false, AllowSLD: true, AllowETLD: true,
+		Reserved:                 defaultReserved,
+		AllowDuplicateSingleUser: false, AllowDuplicateCrossUser: true,
+		SupportsRetrieval: true,
+	}
+}
+
+// AppendixCPresets returns the seven investigated providers in Table 2's
+// row order.
+func AppendixCPresets() []Policy {
+	return []Policy{
+		PresetAlibaba(), PresetAmazon(), PresetBaidu(), PresetClouDNS(),
+		PresetCloudflare(), PresetGodaddy(), PresetTencent(),
+	}
+}
+
+// PostDisclosure applies the vendor reactions reported in §6 to a preset:
+// Tencent adopted NS-delegation verification outright; Cloudflare expanded
+// its reserved list; Alibaba adopted TXT-challenge verification for
+// subdomain zones (partially — SLD hosting without verification remained).
+func PostDisclosure(p Policy, extraReserved []dns.Name) Policy {
+	switch p.Name {
+	case "Tencent Cloud":
+		p.Verification = VerifyNSDelegation
+		p.ServeUnverified = false
+	case "Cloudflare":
+		p.Reserved = append(append([]dns.Name(nil), p.Reserved...), extraReserved...)
+	case "Alibaba Cloud":
+		p.Verification = VerifyTXTChallenge
+		p.ServeUnverified = true // still exploitable per the paper's re-test
+	}
+	return p
+}

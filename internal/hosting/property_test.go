@@ -1,0 +1,106 @@
+package hosting
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/dns"
+)
+
+func mustName(s string) dns.Name { return dns.MustParseName(s) }
+
+// TestQuickAccountFixedAssignmentStable: under account-fixed allocation, one
+// account always receives the same nameserver set across its zones (absent
+// per-domain conflicts).
+func TestQuickAccountFixedAssignmentStable(t *testing.T) {
+	w := newWorld(t)
+	p := w.mustProvider(t, PresetTencent())
+	f := func(acctByte, d1, d2 uint8) bool {
+		acct := fmt.Sprintf("acct-%d", acctByte)
+		p.OpenAccount(acct, false)
+		dom1 := mustName(fmt.Sprintf("qf%d-%d.com", acctByte, d1))
+		dom2 := mustName(fmt.Sprintf("qs%d-%d.com", acctByte, d2))
+		w.registerDomain(t, dom1)
+		w.registerDomain(t, dom2)
+		z1, err1 := p.CreateZone(acct, dom1)
+		z2, err2 := p.CreateZone(acct, dom2)
+		if err1 != nil || err2 != nil {
+			// Duplicate probe domains across iterations: fine, skip.
+			return true
+		}
+		if len(z1.NS) != len(z2.NS) {
+			return false
+		}
+		for i := range z1.NS {
+			if z1.NS[i] != z2.NS[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRandomPoolNoDuplicateNS: Amazon-style random allocation never
+// assigns the same nameserver twice to one zone.
+func TestQuickRandomPoolNoDuplicateNS(t *testing.T) {
+	w := newWorld(t)
+	p := w.mustProvider(t, PresetAmazon())
+	p.OpenAccount("rp", false)
+	f := func(n uint8) bool {
+		domain := mustName(fmt.Sprintf("rq%d.com", n))
+		w.registerDomain(t, domain)
+		hz, err := p.CreateZone("rp", domain)
+		if err != nil {
+			return true // duplicate domain between quick iterations
+		}
+		seen := map[string]bool{}
+		for _, ns := range hz.NS {
+			if seen[string(ns.Host)] {
+				return false
+			}
+			seen[string(ns.Host)] = true
+		}
+		return len(hz.NS) == p.NSPerZone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestGlobalFixedIdenticalSets: global-fixed providers hand every customer
+// the same nameservers.
+func TestGlobalFixedIdenticalSets(t *testing.T) {
+	w := newWorld(t)
+	p := w.mustProvider(t, PresetGodaddy())
+	var first []string
+	for i := 0; i < 5; i++ {
+		acct := fmt.Sprintf("gf-%d", i)
+		p.OpenAccount(acct, false)
+		domain := mustName(fmt.Sprintf("gfd%d.com", i))
+		w.registerDomain(t, domain)
+		hz, err := p.CreateZone(acct, domain)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var hosts []string
+		for _, ns := range hz.NS {
+			hosts = append(hosts, string(ns.Host))
+		}
+		if first == nil {
+			first = hosts
+			continue
+		}
+		if len(hosts) != len(first) {
+			t.Fatalf("set size changed: %v vs %v", hosts, first)
+		}
+		for j := range hosts {
+			if hosts[j] != first[j] {
+				t.Fatalf("global-fixed set differs: %v vs %v", hosts, first)
+			}
+		}
+	}
+}

@@ -1,0 +1,105 @@
+package resolver
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/dns"
+	"repro/internal/dnsio"
+	"repro/internal/registry"
+	"repro/internal/simnet"
+
+	"repro/internal/ipam"
+)
+
+// TestLameDelegation: a domain delegated to nameservers that do not exist
+// must surface ErrLame rather than hang or panic.
+func TestLameDelegation(t *testing.T) {
+	fabric := simnet.New(2)
+	ipdb := ipam.New()
+	reg, err := registry.New(fabric, ipdb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := reg.CreateTLD("com", 1); err != nil {
+		t.Fatal(err)
+	}
+	// Delegation with glue pointing at an unbound IP.
+	deadNS := netip.MustParseAddr("203.0.113.250")
+	if err := reg.SetDelegation("lame.com", []dns.Name{"ns1.lame.com"},
+		map[dns.Name]netip.Addr{"ns1.lame.com": deadNS}, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	src := ipdb.MustAllocate(ipdb.RegisterAS("CLIENT", "US", 1))
+	client := dnsio.NewClient(&dnsio.SimTransport{Fabric: fabric, Src: src})
+	client.Retries = 0
+	rec := NewRecursive(client, []netip.Addr{reg.RootAddr()})
+
+	_, err = rec.Resolve(context.Background(), "lame.com", dns.TypeA)
+	if err == nil {
+		t.Fatal("lame delegation resolved")
+	}
+	if !errors.Is(err, ErrLame) {
+		t.Errorf("err = %v, want ErrLame", err)
+	}
+}
+
+// TestGluelessUnresolvableNS: delegation to a hostname that itself cannot be
+// resolved must also fail cleanly.
+func TestGluelessUnresolvableNS(t *testing.T) {
+	fabric := simnet.New(2)
+	ipdb := ipam.New()
+	reg, err := registry.New(fabric, ipdb, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tld := range []dns.Name{"com", "net"} {
+		if err := reg.CreateTLD(tld, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// NS host lives under an unregistered domain: glueless and unresolvable.
+	if err := reg.SetDelegation("glueless.com", []dns.Name{"ns1.ghost-host.net"},
+		nil, time.Now()); err != nil {
+		t.Fatal(err)
+	}
+	src := ipdb.MustAllocate(ipdb.RegisterAS("CLIENT", "US", 1))
+	client := dnsio.NewClient(&dnsio.SimTransport{Fabric: fabric, Src: src})
+	client.Retries = 0
+	rec := NewRecursive(client, []netip.Addr{reg.RootAddr()})
+
+	if _, err := rec.Resolve(context.Background(), "glueless.com", dns.TypeA); err == nil {
+		t.Fatal("glueless unresolvable NS resolved")
+	}
+}
+
+// TestMessageTTLSelection covers cache-lifetime derivation.
+func TestMessageTTLSelection(t *testing.T) {
+	pos := &dns.Message{Answers: []dns.RR{
+		dns.MustParseRR("a.test 120 IN A 192.0.2.1"),
+		dns.MustParseRR("a.test 60 IN A 192.0.2.2"),
+	}}
+	if got := messageTTL(pos); got != 60 {
+		t.Errorf("positive TTL = %d, want min 60", got)
+	}
+	neg := &dns.Message{Authority: []dns.RR{
+		dns.MustParseRR("test 3600 IN SOA ns.test h.test 1 2 3 4 300"),
+	}}
+	if got := messageTTL(neg); got != 300 {
+		t.Errorf("negative TTL = %d, want SOA minimum 300", got)
+	}
+	// SOA minimum above the record TTL: the record TTL caps it.
+	neg2 := &dns.Message{Authority: []dns.RR{
+		dns.MustParseRR("test 100 IN SOA ns.test h.test 1 2 3 4 999"),
+	}}
+	if got := messageTTL(neg2); got != 100 {
+		t.Errorf("capped negative TTL = %d", got)
+	}
+	empty := &dns.Message{}
+	if got := messageTTL(empty); got != defaultNegTTL {
+		t.Errorf("default TTL = %d", got)
+	}
+}

@@ -1,0 +1,308 @@
+// Package resolver implements iterative DNS resolution over the simulated
+// delegation hierarchy, plus the worldwide open-resolver population URHunter
+// uses to collect geo-distributed correct records (§4.1). A Recursive walks
+// root → TLD → authoritative exactly like a real resolver: it follows
+// referrals, uses glue, resolves glueless NS hosts out-of-band, chases CNAME
+// chains, and caches positive and negative answers by TTL.
+package resolver
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"repro/internal/dns"
+	"repro/internal/dnsio"
+)
+
+// Limits for the iteration loop.
+const (
+	maxReferralHops = 24
+	maxCNAMEHops    = 8
+	maxGluelessNS   = 4
+	defaultNegTTL   = 300
+)
+
+// Errors surfaced by resolution.
+var (
+	ErrNoServers = errors.New("resolver: no servers to query")
+	ErrLame      = errors.New("resolver: lame delegation or dead servers")
+	ErrLoop      = errors.New("resolver: referral or CNAME loop")
+)
+
+// Recursive is an iterative resolver rooted at the given root server IPs.
+type Recursive struct {
+	client *dnsio.Client
+	roots  []netip.Addr
+
+	cacheMu sync.Mutex
+	cache   map[dns.Question]cacheEntry
+	// CacheLimit bounds the cache size; 0 disables caching.
+	CacheLimit int
+	// now is injectable for TTL tests.
+	now func() time.Time
+}
+
+type cacheEntry struct {
+	msg     *dns.Message
+	expires time.Time
+}
+
+// NewRecursive builds a resolver that queries through client starting at the
+// given roots.
+func NewRecursive(client *dnsio.Client, roots []netip.Addr) *Recursive {
+	return &Recursive{
+		client:     client,
+		roots:      roots,
+		cache:      make(map[dns.Question]cacheEntry),
+		CacheLimit: 1 << 16,
+		now:        time.Now,
+	}
+}
+
+// LookupA resolves a name to its IPv4 addresses.
+func (r *Recursive) LookupA(ctx context.Context, name dns.Name) ([]netip.Addr, error) {
+	msg, err := r.Resolve(ctx, name, dns.TypeA)
+	if err != nil {
+		return nil, err
+	}
+	var out []netip.Addr
+	for _, rr := range msg.AnswersOfType(dns.TypeA) {
+		out = append(out, rr.Data.(*dns.A).Addr)
+	}
+	return out, nil
+}
+
+// LookupTXT resolves a name's TXT strings (each record joined).
+func (r *Recursive) LookupTXT(ctx context.Context, name dns.Name) ([]string, error) {
+	msg, err := r.Resolve(ctx, name, dns.TypeTXT)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	for _, rr := range msg.AnswersOfType(dns.TypeTXT) {
+		out = append(out, rr.Data.(*dns.TXT).Joined())
+	}
+	return out, nil
+}
+
+// Resolve performs full iterative resolution of (name, qtype) and returns a
+// response message with the complete CNAME chain in the answer section.
+func (r *Recursive) Resolve(ctx context.Context, name dns.Name, qtype dns.Type) (*dns.Message, error) {
+	return r.resolve(ctx, name, qtype, 0)
+}
+
+func (r *Recursive) resolve(ctx context.Context, name dns.Name, qtype dns.Type, depth int) (*dns.Message, error) {
+	if depth > maxGluelessNS {
+		return nil, fmt.Errorf("%w: NS resolution too deep", ErrLoop)
+	}
+	q := dns.Question{Name: name, Type: qtype, Class: dns.ClassINET}
+	if msg, ok := r.cacheGet(q); ok {
+		return msg, nil
+	}
+
+	final := &dns.Message{
+		Header:    dns.Header{Response: true, RecursionAvailable: true},
+		Questions: []dns.Question{q},
+	}
+	target := name
+	for cnameHop := 0; cnameHop <= maxCNAMEHops; cnameHop++ {
+		resp, err := r.iterate(ctx, target, qtype, depth)
+		if err != nil {
+			return nil, err
+		}
+		final.Header.RCode = resp.Header.RCode
+		final.Answers = append(final.Answers, resp.Answers...)
+		final.Authority = resp.Authority
+
+		// Done unless the terminal answer is an unchased CNAME.
+		last := lastCNAMETarget(resp.Answers, qtype)
+		if last == dns.Root {
+			r.cachePut(q, final)
+			return final, nil
+		}
+		target = last
+	}
+	return nil, fmt.Errorf("%w: CNAME chain too long for %s", ErrLoop, name.String())
+}
+
+// lastCNAMETarget returns the target of the trailing CNAME if the answer
+// section ends in an unresolved alias, or the root name when the chain is
+// complete.
+func lastCNAMETarget(answers []dns.RR, qtype dns.Type) dns.Name {
+	if qtype == dns.TypeCNAME || len(answers) == 0 {
+		return dns.Root
+	}
+	last := answers[len(answers)-1]
+	if last.Type() != dns.TypeCNAME {
+		return dns.Root
+	}
+	return last.Data.(*dns.CNAME).Target
+}
+
+// iterate walks the delegation tree for one owner name (no CNAME chasing
+// across calls; in-server chains are accepted as returned).
+func (r *Recursive) iterate(ctx context.Context, name dns.Name, qtype dns.Type, depth int) (*dns.Message, error) {
+	servers := append([]netip.Addr(nil), r.roots...)
+	if len(servers) == 0 {
+		return nil, ErrNoServers
+	}
+	for hop := 0; hop < maxReferralHops; hop++ {
+		resp, err := r.queryAny(ctx, servers, name, qtype)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case resp.Header.RCode == dns.RCodeNXDomain,
+			resp.Header.RCode == dns.RCodeSuccess && len(resp.Answers) > 0,
+			resp.Header.RCode == dns.RCodeSuccess && len(resp.Answers) == 0 && !isReferral(resp):
+			return resp, nil
+		case isReferral(resp):
+			next, err := r.serversFromReferral(ctx, resp, depth)
+			if err != nil {
+				return nil, err
+			}
+			servers = next
+		default:
+			// REFUSED / SERVFAIL from the zone: surface as-is.
+			return resp, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: too many referrals for %s", ErrLoop, name.String())
+}
+
+// isReferral reports whether resp is a downward referral.
+func isReferral(resp *dns.Message) bool {
+	if resp.Header.Authoritative || len(resp.Answers) > 0 {
+		return false
+	}
+	for _, rr := range resp.Authority {
+		if rr.Type() == dns.TypeNS {
+			return true
+		}
+	}
+	return false
+}
+
+// serversFromReferral extracts nameserver addresses from a referral, using
+// glue when present and resolving glueless NS hosts otherwise.
+func (r *Recursive) serversFromReferral(ctx context.Context, resp *dns.Message, depth int) ([]netip.Addr, error) {
+	var addrs []netip.Addr
+	glue := make(map[dns.Name][]netip.Addr)
+	for _, rr := range resp.Additional {
+		if a, ok := rr.Data.(*dns.A); ok {
+			glue[rr.Name] = append(glue[rr.Name], a.Addr)
+		}
+	}
+	var glueless []dns.Name
+	for _, rr := range resp.Authority {
+		ns, ok := rr.Data.(*dns.NS)
+		if !ok {
+			continue
+		}
+		if g, ok := glue[ns.Host]; ok {
+			addrs = append(addrs, g...)
+		} else {
+			glueless = append(glueless, ns.Host)
+		}
+	}
+	// Resolve glueless NS hosts only if glue gave us nothing.
+	if len(addrs) == 0 {
+		for _, host := range glueless {
+			sub, err := r.resolve(ctx, host, dns.TypeA, depth+1)
+			if err != nil {
+				continue
+			}
+			for _, rr := range sub.AnswersOfType(dns.TypeA) {
+				addrs = append(addrs, rr.Data.(*dns.A).Addr)
+			}
+			if len(addrs) > 0 {
+				break
+			}
+		}
+	}
+	if len(addrs) == 0 {
+		return nil, ErrLame
+	}
+	return addrs, nil
+}
+
+// queryAny tries each server until one answers.
+func (r *Recursive) queryAny(ctx context.Context, servers []netip.Addr, name dns.Name, qtype dns.Type) (*dns.Message, error) {
+	var lastErr error = ErrLame
+	for _, s := range servers {
+		resp, err := r.client.Query(ctx, netip.AddrPortFrom(s, dnsio.DNSPort), name, qtype)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		return resp, nil
+	}
+	return nil, fmt.Errorf("%w: %v", ErrLame, lastErr)
+}
+
+func (r *Recursive) cacheGet(q dns.Question) (*dns.Message, bool) {
+	if r.CacheLimit == 0 {
+		return nil, false
+	}
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	e, ok := r.cache[q]
+	if !ok || r.now().After(e.expires) {
+		if ok {
+			delete(r.cache, q)
+		}
+		return nil, false
+	}
+	return e.msg, true
+}
+
+func (r *Recursive) cachePut(q dns.Question, msg *dns.Message) {
+	if r.CacheLimit == 0 {
+		return
+	}
+	ttl := messageTTL(msg)
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	if len(r.cache) >= r.CacheLimit {
+		// Drop an arbitrary entry; good enough for a measurement cache.
+		for k := range r.cache {
+			delete(r.cache, k)
+			break
+		}
+	}
+	r.cache[q] = cacheEntry{msg: msg, expires: r.now().Add(time.Duration(ttl) * time.Second)}
+}
+
+// messageTTL picks the cache lifetime: the minimum answer TTL, or the SOA
+// minimum for negative responses.
+func messageTTL(msg *dns.Message) uint32 {
+	if len(msg.Answers) == 0 {
+		for _, rr := range msg.Authority {
+			if soa, ok := rr.Data.(*dns.SOA); ok {
+				if soa.Minimum < rr.TTL {
+					return soa.Minimum
+				}
+				return rr.TTL
+			}
+		}
+		return defaultNegTTL
+	}
+	ttl := msg.Answers[0].TTL
+	for _, rr := range msg.Answers[1:] {
+		if rr.TTL < ttl {
+			ttl = rr.TTL
+		}
+	}
+	return ttl
+}
+
+// CacheSize returns the number of cached questions.
+func (r *Recursive) CacheSize() int {
+	r.cacheMu.Lock()
+	defer r.cacheMu.Unlock()
+	return len(r.cache)
+}

@@ -1,0 +1,190 @@
+// Package scenario generates the world URHunter measures: the delegation
+// hierarchy, hosting providers with their Appendix C policies, legitimate
+// customers (including CDN-style geo-distributed sites and past-delegation
+// churn), open resolvers, attacker accounts planting undelegated records,
+// the malicious-IP population with calibrated threat-intelligence coverage,
+// the malware corpus (case-study families plus bulk samples), and the C2 /
+// SMTP endpoints their traffic lands on.
+//
+// Calibration targets come from the paper's published distributions —
+// Table 1's malicious shares per record type, Figure 2's provider ordering,
+// Figure 3(a)'s evidence split, 3(b)'s vendor counts, 3(c)'s alert classes,
+// 3(d)'s tag frequencies, and §5.2's 90.95% email-related share. Absolute
+// counts scale with the chosen Scale; proportions are scale-invariant.
+package scenario
+
+// Scale sizes a generated world.
+type Scale struct {
+	Name string
+
+	// TrancoSize is the full ranked list length (1M in the paper).
+	TrancoSize int
+	// Targets is the number of top domains measured (2,000 in the paper).
+	Targets int
+	// OpenResolvers is the vantage-point count (3,000 in the paper).
+	OpenResolvers int
+
+	// GenericProviders is the number of synthetic providers beyond the named
+	// ones (the paper's "over 400 providers").
+	GenericProviders int
+	// ServerScale multiplies the named presets' nameserver fleets.
+	ServerScale float64
+	// GenericServersAvg is the mean fleet size of generic providers.
+	GenericServersAvg int
+
+	// PlantZones is the number of attacker zone-creation attempts.
+	PlantZones int
+	// EvidencedIPs sizes the malicious IP pool with intel/IDS evidence.
+	EvidencedIPs int
+	// CleanAttackerIPs sizes the attacker IP pool with no evidence (the
+	// "unknown" suspicious mass).
+	CleanAttackerIPs int
+	// BulkSamples is the number of generated malware specimens beyond the
+	// case studies.
+	BulkSamples int
+
+	// PastDelegationFrac is the fraction of legitimate domains that left a
+	// stale zone behind at a previous provider.
+	PastDelegationFrac float64
+	// Parallelism for the measurement pipeline.
+	Parallelism int
+
+	// PostDisclosure applies the §6 vendor reactions to the named providers
+	// (Tencent's NS-delegation verification, Cloudflare's expanded reserved
+	// list, Alibaba's TXT challenge) — the E15 remeasurement.
+	PostDisclosure bool
+}
+
+// Tiny is the test scale: seconds to generate and sweep.
+func Tiny() Scale {
+	return Scale{
+		Name:       "tiny",
+		TrancoSize: 2500, Targets: 48, OpenResolvers: 8,
+		GenericProviders: 4, ServerScale: 0.25, GenericServersAvg: 3,
+		PlantZones: 90, EvidencedIPs: 16, CleanAttackerIPs: 40,
+		BulkSamples:        40,
+		PastDelegationFrac: 0.15,
+		Parallelism:        4,
+	}
+}
+
+// Small is the default experiment scale (~1/8 of the paper).
+func Small() Scale {
+	return Scale{
+		Name:       "small",
+		TrancoSize: 10000, Targets: 400, OpenResolvers: 150,
+		GenericProviders: 50, ServerScale: 1.0, GenericServersAvg: 4,
+		PlantZones: 2600, EvidencedIPs: 180, CleanAttackerIPs: 520,
+		BulkSamples:        400,
+		PastDelegationFrac: 0.15,
+		Parallelism:        8,
+	}
+}
+
+// Paper approximates the paper's full sweep (8,941 nameservers, top-2K
+// targets, 3K resolvers). Expect minutes of runtime and gigabytes of RSS.
+func Paper() Scale {
+	return Scale{
+		Name:       "paper",
+		TrancoSize: 100000, Targets: 2000, OpenResolvers: 3000,
+		GenericProviders: 400, ServerScale: 8.0, GenericServersAvg: 18,
+		PlantZones: 26000, EvidencedIPs: 1500, CleanAttackerIPs: 4800,
+		BulkSamples:        2000,
+		PastDelegationFrac: 0.15,
+		Parallelism:        16,
+	}
+}
+
+// ByName resolves a scale label.
+func ByName(name string) (Scale, bool) {
+	switch name {
+	case "tiny":
+		return Tiny(), true
+	case "small", "":
+		return Small(), true
+	case "paper", "full":
+		return Paper(), true
+	}
+	return Scale{}, false
+}
+
+// Calibration constants derived from the paper's published numbers.
+const (
+	// fracAPlants is the share of attacker plants that are A-record zones
+	// (Table 1: A suspicious URs are ~86% of the suspicious set).
+	fracAPlants = 0.82
+	// fracAMalicious is the share of A plants pointing at evidenced IPs
+	// (Table 1: 28.92% of A URs are malicious).
+	fracAMalicious = 0.29
+	// fracTXTWithEvidencedIP matches Table 1's 3.08% malicious TXT share.
+	fracTXTWithEvidencedIP = 0.035
+	// fracTXTNoIP is the share of TXT plants carrying no IP at all
+	// (encrypted commands; excluded from malicious determination).
+	fracTXTNoIP = 0.60
+	// fracMaliciousEmailTXT: 90.95% of malicious TXT URs are SPF/DMARC.
+	fracMaliciousEmailTXT = 0.91
+	// maliciousDomainPoolFrac bounds which targets malicious plants hit
+	// (Table 1: 68.48% of targets carry malicious URs).
+	maliciousDomainPoolFrac = 0.72
+
+	// Figure 3(a): evidence mix over malicious IPs.
+	fracIntelOnly = 0.342
+	fracIDSOnly   = 0.366
+	// remainder = both (0.292)
+
+	// Figure 3(b): vendor-count buckets over intel-flagged IPs.
+	fracVendors1to2 = 0.779
+	fracVendors3to4 = 0.1631
+	fracVendors5to6 = 0.0201
+	// remainder 7-11 (0.0378)
+)
+
+// tagProbabilities drives Figure 3(d): independent per-tag draws (an IP may
+// carry several tags).
+var tagProbabilities = []struct {
+	Tag  string
+	Prob float64
+}{
+	{"Trojan", 0.8901},
+	{"Scanner", 0.4101},
+	{"Other", 0.3333},
+	{"Malware", 0.1911},
+	{"C&C", 0.1625},
+	{"Botnet", 0.1023},
+}
+
+// alertMarkerMix drives Figure 3(c): each bulk sample emits one marker; the
+// weights reproduce the alert-class distribution (Trojan Activity 41.67%,
+// Other 23.86%, Privacy Violation 21.19%, C&C 10.82%, Bad Traffic 2.46%).
+var alertMarkerMix = []struct {
+	Marker string
+	Port   uint16
+	Weight float64
+}{
+	{"trojan-beacon stage2 fetch", 4444, 0.4167},
+	{"misc-cmd run-task", 8080, 0.2386},
+	{"cred-harvest report upload", 443, 0.2119},
+	{"c2-checkin keepalive", 443, 0.1082},
+	{"malformed session junk", 9001, 0.0246},
+}
+
+// hostingWeights drives which provider legitimately hosts each target; the
+// CDN-style providers (Cloudflare, Akamai) sync zones to their whole fleet,
+// which is what makes their Figure 2 bars enormous.
+var hostingWeights = []struct {
+	Provider string
+	Weight   float64
+}{
+	{"Cloudflare", 0.35},
+	{"Akamai", 0.15},
+	{"Amazon", 0.10},
+	{"Godaddy", 0.08},
+	{"Tencent Cloud", 0.05},
+	{"Alibaba Cloud", 0.05},
+	{"Namecheap", 0.04},
+	{"NHN Cloud", 0.02},
+	{"Baidu Cloud", 0.02},
+	{"CSC", 0.01},
+	{"ClouDNS", 0.01},
+	// remainder: generic providers
+}

@@ -1,0 +1,250 @@
+// Package simnet provides the virtual IP network fabric that stands in for
+// the live Internet in this reproduction. Services (authoritative
+// nameservers, open resolvers, web servers, C2 endpoints) register handlers
+// on (IP, port) pairs; clients exchange datagrams or reliable byte blobs with
+// any registered endpoint.
+//
+// The fabric is deliberately synchronous — a request/response exchange is a
+// function call — which lets the URHunter pipeline sweep millions of queries
+// in-process while exercising exactly the same packed wire bytes that the
+// real-socket transport in internal/dnsio moves over UDP/TCP.
+//
+// The fabric also keeps per-destination query accounting. The paper's ethics
+// appendix (§A) commits to a bounded per-server query rate; the accounting
+// lets tests assert the collector honours an analogous budget.
+package simnet
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"net/netip"
+	"sync"
+	"time"
+)
+
+// Handler consumes a request payload and returns a response payload.
+// Returning nil means the service drops the request (client observes a
+// timeout).
+type Handler interface {
+	ServePacket(src netip.Addr, payload []byte) []byte
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(src netip.Addr, payload []byte) []byte
+
+// ServePacket implements Handler.
+func (f HandlerFunc) ServePacket(src netip.Addr, payload []byte) []byte {
+	return f(src, payload)
+}
+
+// Errors reported by the fabric.
+var (
+	ErrUnreachable = errors.New("simnet: destination unreachable")
+	ErrTimeout     = errors.New("simnet: timeout (packet lost)")
+)
+
+// Endpoint is an (IP, port) service address.
+type Endpoint struct {
+	Addr netip.Addr
+	Port uint16
+}
+
+// String renders the endpoint as host:port.
+func (e Endpoint) String() string {
+	return netip.AddrPortFrom(e.Addr, e.Port).String()
+}
+
+// Fabric is a virtual packet network. The zero value is not usable; call New.
+type Fabric struct {
+	mu       sync.RWMutex
+	services map[Endpoint]Handler
+
+	lossRate float64
+	baseRTT  time.Duration
+	rng      *rand.Rand
+	rngMu    sync.Mutex
+
+	stats Stats
+}
+
+// Stats is the fabric's traffic accounting.
+type Stats struct {
+	mu         sync.Mutex
+	exchanges  int64
+	drops      int64
+	perDst     map[netip.Addr]int64
+	lastQuery  map[netip.Addr]time.Time
+	minSpacing time.Duration // smallest observed gap between queries to one dst
+	virtualRTT time.Duration // accumulated virtual round-trip time
+}
+
+// New creates an empty fabric. Seed makes loss injection deterministic.
+func New(seed int64) *Fabric {
+	return &Fabric{
+		services: make(map[Endpoint]Handler),
+		rng:      rand.New(rand.NewSource(seed)),
+		baseRTT:  20 * time.Millisecond,
+		stats: Stats{
+			perDst:     make(map[netip.Addr]int64),
+			lastQuery:  make(map[netip.Addr]time.Time),
+			minSpacing: time.Duration(1<<63 - 1),
+		},
+	}
+}
+
+// SetLossRate configures the probability in [0,1) that any exchange is
+// dropped (client observes ErrTimeout).
+func (f *Fabric) SetLossRate(p float64) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.lossRate = p
+}
+
+// SetBaseRTT configures the virtual round-trip time accounted per exchange.
+func (f *Fabric) SetBaseRTT(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.baseRTT = d
+}
+
+// Listen registers a handler for an endpoint. It returns an error if the
+// endpoint is already taken.
+func (f *Fabric) Listen(ep Endpoint, h Handler) error {
+	if h == nil {
+		return errors.New("simnet: nil handler")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if _, ok := f.services[ep]; ok {
+		return fmt.Errorf("simnet: endpoint %s already bound", ep)
+	}
+	f.services[ep] = h
+	return nil
+}
+
+// Unlisten removes a registered endpoint. Removing an unbound endpoint is a
+// no-op.
+func (f *Fabric) Unlisten(ep Endpoint) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.services, ep)
+}
+
+// Bound reports whether any service listens on the endpoint.
+func (f *Fabric) Bound(ep Endpoint) bool {
+	f.mu.RLock()
+	defer f.mu.RUnlock()
+	_, ok := f.services[ep]
+	return ok
+}
+
+// Exchange performs a datagram request/response. maxResp > 0 truncates the
+// response payload to that many bytes, modelling a UDP read buffer; the DNS
+// layer on top handles the TC bit itself, so truncation here simply cuts the
+// byte slice.
+func (f *Fabric) Exchange(src netip.Addr, dst Endpoint, payload []byte, maxResp int) ([]byte, error) {
+	f.mu.RLock()
+	h, ok := f.services[dst]
+	loss := f.lossRate
+	rtt := f.baseRTT
+	f.mu.RUnlock()
+
+	f.account(dst.Addr, rtt)
+
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, dst)
+	}
+	if loss > 0 {
+		f.rngMu.Lock()
+		dropped := f.rng.Float64() < loss
+		f.rngMu.Unlock()
+		if dropped {
+			f.stats.mu.Lock()
+			f.stats.drops++
+			f.stats.mu.Unlock()
+			return nil, ErrTimeout
+		}
+	}
+	resp := h.ServePacket(src, payload)
+	if resp == nil {
+		return nil, ErrTimeout
+	}
+	if maxResp > 0 && len(resp) > maxResp {
+		resp = resp[:maxResp]
+	}
+	return resp, nil
+}
+
+// ExchangeReliable performs a stream-style exchange with no size cap and no
+// loss, modelling TCP.
+func (f *Fabric) ExchangeReliable(src netip.Addr, dst Endpoint, payload []byte) ([]byte, error) {
+	f.mu.RLock()
+	h, ok := f.services[dst]
+	rtt := f.baseRTT
+	f.mu.RUnlock()
+
+	f.account(dst.Addr, 2*rtt) // handshake + exchange
+
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrUnreachable, dst)
+	}
+	resp := h.ServePacket(src, payload)
+	if resp == nil {
+		return nil, ErrTimeout
+	}
+	return resp, nil
+}
+
+func (f *Fabric) account(dst netip.Addr, rtt time.Duration) {
+	now := time.Now()
+	s := &f.stats
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.exchanges++
+	s.perDst[dst]++
+	if last, ok := s.lastQuery[dst]; ok {
+		if gap := now.Sub(last); gap < s.minSpacing {
+			s.minSpacing = gap
+		}
+	}
+	s.lastQuery[dst] = now
+	s.virtualRTT += rtt
+}
+
+// Exchanges returns the total number of exchanges attempted.
+func (f *Fabric) Exchanges() int64 {
+	f.stats.mu.Lock()
+	defer f.stats.mu.Unlock()
+	return f.stats.exchanges
+}
+
+// Drops returns the number of exchanges dropped by loss injection.
+func (f *Fabric) Drops() int64 {
+	f.stats.mu.Lock()
+	defer f.stats.mu.Unlock()
+	return f.stats.drops
+}
+
+// QueriesTo returns how many exchanges targeted the given IP.
+func (f *Fabric) QueriesTo(addr netip.Addr) int64 {
+	f.stats.mu.Lock()
+	defer f.stats.mu.Unlock()
+	return f.stats.perDst[addr]
+}
+
+// VirtualRTT returns the accumulated virtual round-trip time across all
+// exchanges — the wall-clock a real-network run of the same query plan would
+// have spent waiting, which the benchmark harness reports alongside CPU time.
+func (f *Fabric) VirtualRTT() time.Duration {
+	f.stats.mu.Lock()
+	defer f.stats.mu.Unlock()
+	return f.stats.virtualRTT
+}
+
+// Destinations returns the number of distinct IPs that received traffic.
+func (f *Fabric) Destinations() int {
+	f.stats.mu.Lock()
+	defer f.stats.mu.Unlock()
+	return len(f.stats.perDst)
+}

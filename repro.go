@@ -1,0 +1,71 @@
+// Package repro is the public facade of the reproduction of "Wolf in
+// Sheep's Clothing: Evaluating Security Risks of the Undelegated Record on
+// DNS Hosting Services" (IMC 2023).
+//
+// The library builds a simulated Internet — delegation hierarchy, hosting
+// providers with their real policy matrices, open resolvers, threat
+// intelligence, a malware sandbox and IDS — and runs the paper's URHunter
+// measurement framework over it. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the paper-vs-measured record of every table and figure.
+//
+// Quick start:
+//
+//	world, _ := repro.GenerateWorld(repro.TinyScale(), 42)
+//	result, _ := repro.RunURHunter(context.Background(), world)
+//	fmt.Print(repro.RenderTable1(result))
+package repro
+
+import (
+	"context"
+
+	"repro/internal/core"
+	"repro/internal/scenario"
+)
+
+// Scale sizes a generated world; see the constructors below.
+type Scale = scenario.Scale
+
+// World is a generated measurement universe.
+type World = scenario.World
+
+// Result is a URHunter run's classified output.
+type Result = core.Result
+
+// UR is one undelegated record with enrichment and classification.
+type UR = core.UR
+
+// Scales.
+var (
+	// TinyScale is for tests and demos (sub-second sweeps).
+	TinyScale = scenario.Tiny
+	// SmallScale is the default experiment scale (~1/8 of the paper).
+	SmallScale = scenario.Small
+	// PaperScale approximates the full measurement (8,941 nameservers).
+	PaperScale = scenario.Paper
+	// ScaleByName resolves "tiny", "small", or "paper".
+	ScaleByName = scenario.ByName
+)
+
+// Record categories, re-exported for report consumers.
+const (
+	CategoryUnknown    = core.CategoryUnknown
+	CategoryCorrect    = core.CategoryCorrect
+	CategoryProtective = core.CategoryProtective
+	CategoryMalicious  = core.CategoryMalicious
+)
+
+// GenerateWorld builds a world at the given scale, deterministic in seed.
+func GenerateWorld(scale Scale, seed int64) (*World, error) {
+	return scenario.Generate(scale, seed)
+}
+
+// RunURHunter executes the full pipeline (§4.1–§4.3) over a world.
+func RunURHunter(ctx context.Context, w *World) (*Result, error) {
+	return NewPipeline(w).Run(ctx)
+}
+
+// NewPipeline exposes the pipeline for callers that tune the determiner
+// (the Appendix B ablation) or need the false-negative check.
+func NewPipeline(w *World) *core.Pipeline {
+	return core.NewPipeline(w.URHunterConfig())
+}
