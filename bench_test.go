@@ -8,13 +8,16 @@ package repro
 
 import (
 	"context"
+	"net/netip"
 	"sync"
 	"testing"
 
 	"repro/internal/core"
 	"repro/internal/dns"
+	"repro/internal/dnsio"
 	"repro/internal/hosting"
 	"repro/internal/sandbox"
+	"repro/internal/simnet"
 )
 
 var (
@@ -65,6 +68,7 @@ func BenchmarkTable1Pipeline(b *testing.B) {
 	b.ReportMetric(float64(rows[2].URs), "suspicious-urs")
 	b.ReportMetric(float64(res.Queries), "dns-queries")
 	b.ReportMetric(100*ratio(rows[2].MaliciousURs, rows[2].URs), "malicious-%")
+	b.ReportMetric(float64(res.Queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
 }
 
 // BenchmarkFigure2VendorClassification regenerates Figure 2 from a
@@ -239,6 +243,7 @@ func BenchmarkCollectorSweep(b *testing.B) {
 	cfg := env.World.URHunterConfig()
 	b.ResetTimer()
 	var urs []*core.UR
+	var queries int64
 	for i := 0; i < b.N; i++ {
 		col := core.NewCollector(cfg)
 		var err error
@@ -246,9 +251,62 @@ func BenchmarkCollectorSweep(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
+		queries = col.Queries()
 	}
 	b.StopTimer()
 	b.ReportMetric(float64(len(urs)), "urs")
+	b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+}
+
+// BenchmarkFabricExchangeParallel drives raw packed queries through the
+// simnet fabric from all procs at once — the contention ceiling underneath
+// a paper-scale sweep (36M exchanges), isolating the sharded accounting
+// path from codec and collector costs.
+func BenchmarkFabricExchangeParallel(b *testing.B) {
+	env := benchSetup(b)
+	w := env.World
+	ns := w.Nameservers[0]
+	q := dns.NewQuery(99, w.Targets[0], dns.TypeA)
+	packed, err := q.Pack()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ep := simnet.Endpoint{Addr: ns.Addr, Port: 53}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			if _, err := w.Fabric.Exchange(w.CollectorAddr, ep, packed, 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkClientQueryParallel measures the full client query path —
+// pooled pack buffers, atomic ID generation, validation — with one shared
+// Client hammered from all procs, as the sweep workers do.
+func BenchmarkClientQueryParallel(b *testing.B) {
+	env := benchSetup(b)
+	w := env.World
+	client := dnsio.NewClient(&dnsio.SimTransport{Fabric: w.Fabric, Src: w.CollectorAddr})
+	servers := make([]netip.AddrPort, len(w.Nameservers))
+	for i, ns := range w.Nameservers {
+		servers[i] = netip.AddrPortFrom(ns.Addr, 53)
+	}
+	target := w.Targets[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int
+		for pb.Next() {
+			srv := servers[i%len(servers)]
+			i++
+			if _, err := client.Query(context.Background(), srv, target, dns.TypeA); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 // BenchmarkRecursiveResolution measures full iterative resolution through

@@ -1,0 +1,170 @@
+// Command benchjson runs the headline URHunter benchmarks programmatically
+// and emits a machine-readable JSON summary (BENCH_pipeline.json) for CI
+// trend tracking and the DESIGN.md performance table.
+//
+// Usage:
+//
+//	go run ./cmd/benchjson [-out BENCH_pipeline.json] [-seed 7]
+//
+// The tool mirrors the `go test -bench` harness benchmarks at the tiny
+// scale, so a run completes in seconds. Custom metrics reported via
+// b.ReportMetric (queries/sec, urs) appear under "extra".
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/netip"
+	"os"
+	"runtime"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/dns"
+	"repro/internal/dnsio"
+	"repro/internal/simnet"
+)
+
+// benchResult is one benchmark's summary in the output file.
+type benchResult struct {
+	Iterations  int                `json:"iterations"`
+	NsPerOp     float64            `json:"ns_per_op"`
+	AllocsPerOp int64              `json:"allocs_per_op"`
+	BytesPerOp  int64              `json:"bytes_per_op"`
+	Extra       map[string]float64 `json:"extra,omitempty"`
+}
+
+type report struct {
+	GoVersion  string                 `json:"go_version"`
+	GOMAXPROCS int                    `json:"gomaxprocs"`
+	Scale      string                 `json:"scale"`
+	Seed       int64                  `json:"seed"`
+	Benchmarks map[string]benchResult `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_pipeline.json", "output file ('-' for stdout)")
+	seed := flag.Int64("seed", 7, "world generation seed")
+	flag.Parse()
+
+	env, err := repro.NewEnv(context.Background(), repro.TinyScale(), *seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: env: %v\n", err)
+		os.Exit(1)
+	}
+
+	rep := report{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Scale:      "tiny",
+		Seed:       *seed,
+		Benchmarks: map[string]benchResult{},
+	}
+	run := func(name string, fn func(b *testing.B)) {
+		r := testing.Benchmark(fn)
+		rep.Benchmarks[name] = benchResult{
+			Iterations:  r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			Extra:       r.Extra,
+		}
+		fmt.Fprintf(os.Stderr, "%-28s %10d iters  %12.0f ns/op\n",
+			name, r.N, float64(r.T.Nanoseconds())/float64(r.N))
+	}
+
+	run("Table1Pipeline", func(b *testing.B) {
+		var queries int64
+		for i := 0; i < b.N; i++ {
+			res, err := repro.NewPipeline(env.World).Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			queries = res.Queries
+		}
+		b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+	})
+	run("CollectorSweep", func(b *testing.B) {
+		cfg := env.World.URHunterConfig()
+		var queries int64
+		for i := 0; i < b.N; i++ {
+			col := core.NewCollector(cfg)
+			if _, err := col.CollectURs(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			queries = col.Queries()
+		}
+		b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+	})
+	run("DNSPackUnpack", func(b *testing.B) {
+		m := dns.NewQuery(1, "www.example.com", dns.TypeA).Reply()
+		m.Answers = append(m.Answers,
+			dns.MustParseRR("www.example.com 300 IN CNAME example.com"),
+			dns.MustParseRR("example.com 300 IN A 192.0.2.10"))
+		m.Authority = append(m.Authority,
+			dns.MustParseRR("example.com 86400 IN NS ns1.hosting.test"),
+			dns.MustParseRR("example.com 86400 IN NS ns2.hosting.test"))
+		m.Additional = append(m.Additional,
+			dns.MustParseRR("ns1.hosting.test 86400 IN A 198.51.100.1"))
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			buf, err := m.Pack()
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := dns.Unpack(buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	run("FabricExchangeParallel", func(b *testing.B) {
+		w := env.World
+		q := dns.NewQuery(99, w.Targets[0], dns.TypeA)
+		packed, err := q.Pack()
+		if err != nil {
+			b.Fatal(err)
+		}
+		ep := simnet.Endpoint{Addr: w.Nameservers[0].Addr, Port: 53}
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := w.Fabric.Exchange(w.CollectorAddr, ep, packed, 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+	run("ClientQueryParallel", func(b *testing.B) {
+		w := env.World
+		client := dnsio.NewClient(&dnsio.SimTransport{Fabric: w.Fabric, Src: w.CollectorAddr})
+		target := w.Targets[0]
+		srv := netip.AddrPortFrom(w.Nameservers[0].Addr, 53)
+		b.ReportAllocs()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if _, err := client.Query(context.Background(), srv, target, dns.TypeA); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	})
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: marshal: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		os.Stdout.Write(data)
+		return
+	}
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
+}

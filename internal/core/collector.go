@@ -5,7 +5,10 @@ import (
 	"fmt"
 	"math/rand"
 	"net/netip"
+	"runtime"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dns"
@@ -48,13 +51,19 @@ type Config struct {
 	// Now anchors the six-year PDNS window.
 	Now time.Time
 
+	// Seed makes every randomized choice the collector itself introduces
+	// (currently the protective-record canary name) a pure function of the
+	// configuration, so two runs over the same world issue the same queries.
+	Seed int64
+
 	// Intel and IDS supply the §4.3 evidence; SandboxReports carries the
 	// malware traffic the IDS inspects.
 	Intel          *threatintel.Aggregator
 	IDS            *idspkg.Engine
 	SandboxReports []*sbx.Report
 
-	// Parallelism bounds the collection worker pool (default 8).
+	// Parallelism bounds the collection worker pool. Zero or negative
+	// selects runtime.GOMAXPROCS(0), i.e. one worker per available core.
 	Parallelism int
 
 	// QueryTypes defaults to A and TXT, the paper's two sweeps.
@@ -84,9 +93,47 @@ func (c *Config) queryTypes() []dns.Type {
 
 func (c *Config) parallelism() int {
 	if c.Parallelism <= 0 {
-		return 8
+		return runtime.GOMAXPROCS(0)
 	}
 	return c.Parallelism
+}
+
+// queryShards and probeShards shard the collector's two shared books so
+// sweep workers on different servers/IPs never contend on one lock.
+// Powers of two; the shard index is a mask away from the address hash.
+const (
+	queryShards = 32
+	probeShards = 32
+)
+
+// addrShard hashes an address onto [0, n). n must be a power of two.
+func addrShard(addr netip.Addr, n uint32) uint32 {
+	a := addr.As16()
+	h := uint32(2166136261)
+	for _, b := range a[8:] {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return h & (n - 1)
+}
+
+// queryShard is one slice of the per-server query accounting.
+type queryShard struct {
+	mu sync.Mutex
+	n  map[netip.Addr]int64
+}
+
+// probeEntry is a singleflight slot for one IP's web probe: the first
+// requester fills res and closes done; everyone else blocks on done instead
+// of issuing a duplicate probe.
+type probeEntry struct {
+	done chan struct{}
+	res  websim.ProbeResult
+}
+
+// probeShard is one slice of the probe cache.
+type probeShard struct {
+	mu sync.Mutex
+	m  map[netip.Addr]*probeEntry
 }
 
 // Collector implements §4.1: response collection.
@@ -94,10 +141,13 @@ type Collector struct {
 	cfg    *Config
 	client *dnsio.Client
 
-	mu         sync.Mutex
-	probeCache map[netip.Addr]websim.ProbeResult
-	queries    int64
-	perServer  map[netip.Addr]int64
+	queries   atomic.Int64
+	perServer [queryShards]queryShard
+	probes    [probeShards]probeShard
+
+	// probeFn indirects websim.World.Probe so tests can count or stub the
+	// expensive web fetch; nil when the config carries no web world.
+	probeFn func(src, dst netip.Addr) websim.ProbeResult
 }
 
 // NewCollector builds a collector over the configured fabric.
@@ -105,26 +155,37 @@ func NewCollector(cfg *Config) *Collector {
 	client := dnsio.NewClient(&dnsio.SimTransport{Fabric: cfg.Fabric, Src: cfg.SrcAddr})
 	client.Retries = 1
 	client.SeedIDs(0x5eed)
-	return &Collector{
-		cfg:        cfg,
-		client:     client,
-		probeCache: make(map[netip.Addr]websim.ProbeResult),
-		perServer:  make(map[netip.Addr]int64),
+	c := &Collector{cfg: cfg, client: client}
+	for i := range c.perServer {
+		c.perServer[i].n = make(map[netip.Addr]int64)
 	}
+	for i := range c.probes {
+		c.probes[i].m = make(map[netip.Addr]*probeEntry)
+	}
+	if cfg.Web != nil {
+		c.probeFn = cfg.Web.Probe
+	}
+	return c
 }
 
 // Queries returns the number of DNS queries issued so far.
 func (c *Collector) Queries() int64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.queries
+	return c.queries.Load()
 }
 
-func (c *Collector) countQuery(server netip.Addr) {
-	c.mu.Lock()
-	c.queries++
-	c.perServer[server]++
-	c.mu.Unlock()
+// addQueries books n queries against one server. Workers call it once per
+// (server, sweep) batch rather than once per query, so the shard lock is
+// touched a handful of times per server instead of millions of times per
+// run.
+func (c *Collector) addQueries(server netip.Addr, n int64) {
+	if n == 0 {
+		return
+	}
+	c.queries.Add(n)
+	s := &c.perServer[addrShard(server, queryShards)]
+	s.mu.Lock()
+	s.n[server] += n
+	s.mu.Unlock()
 }
 
 // PoliteScanEstimate reports the wall-clock a real-world run of the executed
@@ -132,13 +193,16 @@ func (c *Collector) countQuery(server netip.Addr) {
 // busiest server's query count times the polite interval (servers are
 // queried in parallel, so the busiest one gates the scan).
 func (c *Collector) PoliteScanEstimate() time.Duration {
-	c.mu.Lock()
-	defer c.mu.Unlock()
 	var max int64
-	for _, n := range c.perServer {
-		if n > max {
-			max = n
+	for i := range c.perServer {
+		s := &c.perServer[i]
+		s.mu.Lock()
+		for _, n := range s.n {
+			if n > max {
+				max = n
+			}
 		}
+		s.mu.Unlock()
 	}
 	return time.Duration(max) * c.cfg.politeInterval()
 }
@@ -146,11 +210,12 @@ func (c *Collector) PoliteScanEstimate() time.Duration {
 // CollectURs sweeps every (nameserver, target, type) triple, skipping pairs
 // where the target is exactly delegated to the nameserver, and returns the
 // undelegated records extracted from NOERROR responses.
+//
+// Workers accumulate into private slices and merge once when the job channel
+// drains; the merged set is then put into a canonical order, so the output
+// is byte-identical at any Parallelism setting.
 func (c *Collector) CollectURs(ctx context.Context) ([]*UR, error) {
-	type job struct {
-		ns NameserverInfo
-	}
-	jobs := make(chan job)
+	jobs := make(chan NameserverInfo)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var out []*UR
@@ -161,33 +226,64 @@ func (c *Collector) CollectURs(ctx context.Context) ([]*UR, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				urs, err := c.collectFromNS(ctx, j.ns)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
+			var local []*UR
+			var localErr error
+			for ns := range jobs {
+				urs, err := c.collectFromNS(ctx, ns)
+				local = append(local, urs...)
+				if err != nil && localErr == nil {
+					localErr = err
 				}
-				out = append(out, urs...)
-				mu.Unlock()
 			}
+			mu.Lock()
+			out = append(out, local...)
+			if localErr != nil && firstErr == nil {
+				firstErr = localErr
+			}
+			mu.Unlock()
 		}()
 	}
 	for _, ns := range c.cfg.Nameservers {
-		jobs <- job{ns: ns}
+		jobs <- ns
 	}
 	close(jobs)
 	wg.Wait()
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	sortURs(out)
 	c.enrich(out)
 	return out, nil
+}
+
+// sortURs puts a UR set into its canonical order: server address, then
+// domain, type, rdata, and TTL. Collection order depends on worker
+// scheduling; the canonical order does not.
+func sortURs(urs []*UR) {
+	sort.Slice(urs, func(i, j int) bool {
+		a, b := urs[i], urs[j]
+		if cmp := a.Server.Addr.Compare(b.Server.Addr); cmp != 0 {
+			return cmp < 0
+		}
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		if a.RData != b.RData {
+			return a.RData < b.RData
+		}
+		return a.TTL < b.TTL
+	})
 }
 
 // collectFromNS queries one nameserver for every target and type.
 func (c *Collector) collectFromNS(ctx context.Context, ns NameserverInfo) ([]*UR, error) {
 	var out []*UR
 	server := netip.AddrPortFrom(ns.Addr, dnsio.DNSPort)
+	var issued int64
+	defer func() { c.addQueries(ns.Addr, issued) }()
 	// Ethics appendix: queries are issued in randomized order, never
 	// walking the target list top-down against any single server.
 	order := c.shuffledTargets(ns.Addr)
@@ -199,7 +295,7 @@ func (c *Collector) collectFromNS(ctx context.Context, ns NameserverInfo) ([]*UR
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
-			c.countQuery(ns.Addr)
+			issued++
 			resp, err := c.client.Query(ctx, server, target, qt)
 			if err != nil || resp.Header.RCode != dns.RCodeSuccess {
 				continue
@@ -269,7 +365,7 @@ func (c *Collector) enrich(urs []*UR) {
 			if info, ok := c.cfg.IPDB.Lookup(addr); ok {
 				u.ASN, u.ASName, u.Country = info.ASN, info.ASName, info.Country
 			}
-			if c.cfg.Web != nil {
+			if c.probeFn != nil {
 				u.HTTP = c.probe(addr)
 				u.Cert = u.HTTP.Cert
 			}
@@ -285,19 +381,23 @@ func (c *Collector) enrich(urs []*UR) {
 	}
 }
 
-// probe fetches (with caching) the HTTP/TLS enrichment for an IP.
+// probe fetches (with caching) the HTTP/TLS enrichment for an IP. Concurrent
+// callers for the same IP coalesce onto a single fetch: the first locks in a
+// singleflight entry and probes, the rest wait for its result.
 func (c *Collector) probe(addr netip.Addr) websim.ProbeResult {
-	c.mu.Lock()
-	if res, ok := c.probeCache[addr]; ok {
-		c.mu.Unlock()
-		return res
+	s := &c.probes[addrShard(addr, probeShards)]
+	s.mu.Lock()
+	if e, ok := s.m[addr]; ok {
+		s.mu.Unlock()
+		<-e.done
+		return e.res
 	}
-	c.mu.Unlock()
-	res := c.cfg.Web.Probe(c.cfg.SrcAddr, addr)
-	c.mu.Lock()
-	c.probeCache[addr] = res
-	c.mu.Unlock()
-	return res
+	e := &probeEntry{done: make(chan struct{})}
+	s.m[addr] = e
+	s.mu.Unlock()
+	e.res = c.probeFn(c.cfg.SrcAddr, addr)
+	close(e.done)
+	return e.res
 }
 
 // CollectCorrect builds the legitimate-record database by querying the open
@@ -305,8 +405,7 @@ func (c *Collector) probe(addr netip.Addr) websim.ProbeResult {
 // the geo-distributed correct-record collection of §4.1(2).
 func (c *Collector) CollectCorrect(ctx context.Context) (*CorrectDB, error) {
 	db := NewCorrectDB()
-	type job struct{ resolver netip.Addr }
-	jobs := make(chan job)
+	jobs := make(chan netip.Addr)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
@@ -316,8 +415,8 @@ func (c *Collector) CollectCorrect(ctx context.Context) (*CorrectDB, error) {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for j := range jobs {
-				if err := c.collectCorrectVia(ctx, db, j.resolver); err != nil {
+			for resolver := range jobs {
+				if err := c.collectCorrectVia(ctx, db, resolver); err != nil {
 					mu.Lock()
 					if firstErr == nil {
 						firstErr = err
@@ -328,7 +427,7 @@ func (c *Collector) CollectCorrect(ctx context.Context) (*CorrectDB, error) {
 		}()
 	}
 	for _, r := range c.cfg.OpenResolvers {
-		jobs <- job{resolver: r}
+		jobs <- r
 	}
 	close(jobs)
 	wg.Wait()
@@ -340,12 +439,14 @@ func (c *Collector) CollectCorrect(ctx context.Context) (*CorrectDB, error) {
 
 func (c *Collector) collectCorrectVia(ctx context.Context, db *CorrectDB, resolver netip.Addr) error {
 	server := netip.AddrPortFrom(resolver, dnsio.DNSPort)
+	var issued int64
+	defer func() { c.addQueries(resolver, issued) }()
 	for _, target := range c.shuffledTargets(resolver) {
 		for _, qt := range c.cfg.queryTypes() {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
-			c.countQuery(resolver)
+			issued++
 			resp, err := c.client.Query(ctx, server, target, qt)
 			if err != nil || resp.Header.RCode != dns.RCodeSuccess {
 				continue
@@ -359,7 +460,7 @@ func (c *Collector) collectCorrectVia(ctx context.Context, db *CorrectDB, resolv
 					if info, ok := c.cfg.IPDB.Lookup(data.Addr); ok {
 						asn, country = info.ASN, info.Country
 					}
-					if c.cfg.Web != nil {
+					if c.probeFn != nil {
 						if res := c.probe(data.Addr); res.Cert != nil {
 							certFP = res.Cert.Fingerprint
 						}
@@ -376,29 +477,71 @@ func (c *Collector) collectCorrectVia(ctx context.Context, db *CorrectDB, resolv
 	return nil
 }
 
+// CanaryName derives the protective-record canary from the config seed: a
+// domain no provider hosts, stable across runs of the same configured world
+// so repeated collections issue identical query plans.
+func (c *Config) CanaryName() dns.Name {
+	return dns.Name(fmt.Sprintf("urhunter-canary-%d.test", uint64(c.Seed)%1_000_000))
+}
+
 // CollectProtective queries every nameserver for a canary domain no one
 // hosts and records the answers as that server's protective records
-// (§4.1(3)).
+// (§4.1(3)). Nameservers are swept by the same worker pool as CollectURs;
+// ProtectiveDB is internally locked and deduplicating, so concurrent adds
+// land in a deterministic final state.
 func (c *Collector) CollectProtective(ctx context.Context) (*ProtectiveDB, error) {
 	db := NewProtectiveDB()
-	canary := dns.Name(fmt.Sprintf("urhunter-canary-%d.test", time.Now().UnixNano()%1_000_000))
-	for _, ns := range c.cfg.Nameservers {
-		server := netip.AddrPortFrom(ns.Addr, dnsio.DNSPort)
-		for _, qt := range c.cfg.queryTypes() {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			c.countQuery(ns.Addr)
-			resp, err := c.client.Query(ctx, server, canary, qt)
-			if err != nil || resp.Header.RCode != dns.RCodeSuccess {
-				continue
-			}
-			for _, rr := range resp.Answers {
-				if rr.Type() == qt {
-					db.Add(ns.Addr, qt, rr.Data.String())
+	canary := c.cfg.CanaryName()
+	jobs := make(chan NameserverInfo)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+
+	workers := c.cfg.parallelism()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for ns := range jobs {
+				if err := c.collectProtectiveFrom(ctx, db, ns, canary); err != nil {
+					mu.Lock()
+					if firstErr == nil {
+						firstErr = err
+					}
+					mu.Unlock()
 				}
+			}
+		}()
+	}
+	for _, ns := range c.cfg.Nameservers {
+		jobs <- ns
+	}
+	close(jobs)
+	wg.Wait()
+	if firstErr != nil {
+		return nil, firstErr
+	}
+	return db, nil
+}
+
+func (c *Collector) collectProtectiveFrom(ctx context.Context, db *ProtectiveDB, ns NameserverInfo, canary dns.Name) error {
+	server := netip.AddrPortFrom(ns.Addr, dnsio.DNSPort)
+	var issued int64
+	defer func() { c.addQueries(ns.Addr, issued) }()
+	for _, qt := range c.cfg.queryTypes() {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		issued++
+		resp, err := c.client.Query(ctx, server, canary, qt)
+		if err != nil || resp.Header.RCode != dns.RCodeSuccess {
+			continue
+		}
+		for _, rr := range resp.Answers {
+			if rr.Type() == qt {
+				db.Add(ns.Addr, qt, rr.Data.String())
 			}
 		}
 	}
-	return db, nil
+	return nil
 }

@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"runtime"
 	"testing"
 	"testing/quick"
 	"time"
@@ -119,8 +120,8 @@ func TestMXExtensionSweep(t *testing.T) {
 // TestConfigDefaults exercises the Config fallbacks.
 func TestConfigDefaults(t *testing.T) {
 	c := &Config{}
-	if got := c.parallelism(); got != 8 {
-		t.Errorf("default parallelism = %d", got)
+	if got := c.parallelism(); got != runtime.GOMAXPROCS(0) {
+		t.Errorf("default parallelism = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
 	}
 	c.Parallelism = 3
 	if got := c.parallelism(); got != 3 {

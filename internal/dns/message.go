@@ -108,7 +108,7 @@ const headerLen = 12
 
 // Pack serializes m into wire format with name compression.
 func (m *Message) Pack() ([]byte, error) {
-	return m.pack(0)
+	return m.AppendPack(make([]byte, 0, 512))
 }
 
 // PackTruncated serializes m, and if the result exceeds maxSize it re-packs
@@ -127,14 +127,22 @@ func (m *Message) PackTruncated(maxSize int) ([]byte, error) {
 	return tc.Pack()
 }
 
-func (m *Message) pack(_ int) ([]byte, error) {
+// AppendPack serializes m into wire format with name compression, appending
+// to buf and returning the extended slice. buf may already carry bytes (a
+// pooled scratch buffer or a TCP length prefix); compression pointers stay
+// relative to the start of the appended message. The caller keeps ownership
+// of the buffer, which makes pack-buffer reuse possible on the query hot
+// path (see internal/dnsio).
+func (m *Message) AppendPack(buf []byte) ([]byte, error) {
 	if len(m.Questions) > 0xFFFF || len(m.Answers) > 0xFFFF ||
 		len(m.Authority) > 0xFFFF || len(m.Additional) > 0xFFFF {
 		return nil, errors.New("dns: section too large")
 	}
-	buf := make([]byte, headerLen, 512)
+	base := len(buf)
+	var hdr [headerLen]byte
+	buf = append(buf, hdr[:]...)
 	h := &m.Header
-	buf[0], buf[1] = byte(h.ID>>8), byte(h.ID)
+	buf[base], buf[base+1] = byte(h.ID>>8), byte(h.ID)
 	var flags uint16
 	if h.Response {
 		flags |= 1 << 15
@@ -153,14 +161,20 @@ func (m *Message) pack(_ int) ([]byte, error) {
 		flags |= 1 << 7
 	}
 	flags |= uint16(h.RCode & 0xF)
-	buf[2], buf[3] = byte(flags>>8), byte(flags)
-	put16 := func(i int, v uint16) { buf[i], buf[i+1] = byte(v>>8), byte(v) }
+	buf[base+2], buf[base+3] = byte(flags>>8), byte(flags)
+	put16 := func(i int, v uint16) { buf[base+i], buf[base+i+1] = byte(v>>8), byte(v) }
 	put16(4, uint16(len(m.Questions)))
 	put16(6, uint16(len(m.Answers)))
 	put16(8, uint16(len(m.Authority)))
 	put16(10, uint16(len(m.Additional)))
 
-	compress := make(map[Name]int)
+	// Compression state only pays off when a name can repeat: queries with a
+	// single question never compress, so the sweep's per-query pack skips
+	// the compressor entirely.
+	var compress *compressor
+	if len(m.Questions)+len(m.Answers)+len(m.Authority)+len(m.Additional) > 1 {
+		compress = &compressor{base: base}
+	}
 	var err error
 	for _, q := range m.Questions {
 		if buf, err = packName(buf, q.Name, compress); err != nil {
@@ -175,13 +189,13 @@ func (m *Message) pack(_ int) ([]byte, error) {
 			}
 		}
 	}
-	if len(buf) > MaxMessageSize {
+	if len(buf)-base > MaxMessageSize {
 		return nil, errors.New("dns: message exceeds 65535 octets")
 	}
 	return buf, nil
 }
 
-func packRR(buf []byte, rr RR, compress map[Name]int) ([]byte, error) {
+func packRR(buf []byte, rr RR, compress *compressor) ([]byte, error) {
 	if rr.Data == nil {
 		return nil, fmt.Errorf("dns: record %q has no payload", rr.Name)
 	}
@@ -207,10 +221,21 @@ func packRR(buf []byte, rr RR, compress map[Name]int) ([]byte, error) {
 
 // Unpack parses a wire-format DNS message.
 func Unpack(msg []byte) (*Message, error) {
-	if len(msg) < headerLen {
-		return nil, errors.New("dns: message shorter than header")
-	}
 	var m Message
+	if err := m.UnpackFrom(msg); err != nil {
+		return nil, err
+	}
+	return &m, nil
+}
+
+// UnpackFrom parses a wire-format DNS message into m, reusing m's section
+// slices when their capacity allows. This lets a server loop decode each
+// incoming query into a pooled Message without re-allocating the sections
+// on every datagram. On error m is left in an unspecified state.
+func (m *Message) UnpackFrom(msg []byte) error {
+	if len(msg) < headerLen {
+		return errors.New("dns: message shorter than header")
+	}
 	h := &m.Header
 	h.ID = uint16(msg[0])<<8 | uint16(msg[1])
 	flags := uint16(msg[2])<<8 | uint16(msg[3])
@@ -229,21 +254,31 @@ func Unpack(msg []byte) (*Message, error) {
 
 	off := headerLen
 	var err error
+	m.Questions = m.Questions[:0]
+	if qd > 0 && cap(m.Questions) == 0 {
+		m.Questions = make([]Question, 0, sectionCap(qd, len(msg)-off, 5))
+	}
 	for i := 0; i < qd; i++ {
 		var q Question
 		if q.Name, off, err = unpackName(msg, off); err != nil {
-			return nil, fmt.Errorf("dns: question %d: %w", i, err)
+			return fmt.Errorf("dns: question %d: %w", i, err)
 		}
 		if off+4 > len(msg) {
-			return nil, errors.New("dns: truncated question")
+			return errors.New("dns: truncated question")
 		}
 		q.Type = Type(uint16(msg[off])<<8 | uint16(msg[off+1]))
 		q.Class = Class(uint16(msg[off+2])<<8 | uint16(msg[off+3]))
 		off += 4
 		m.Questions = append(m.Questions, q)
 	}
-	unpackSection := func(n int, what string) ([]RR, error) {
-		var rrs []RR
+	unpackSection := func(into []RR, n int, what string) ([]RR, error) {
+		if n == 0 {
+			return into[:0], nil
+		}
+		rrs := into[:0]
+		if cap(rrs) == 0 {
+			rrs = make([]RR, 0, sectionCap(n, len(msg)-off, 11))
+		}
 		for i := 0; i < n; i++ {
 			rr, next, err := unpackRR(msg, off)
 			if err != nil {
@@ -254,16 +289,27 @@ func Unpack(msg []byte) (*Message, error) {
 		}
 		return rrs, nil
 	}
-	if m.Answers, err = unpackSection(an, "answer"); err != nil {
-		return nil, err
+	if m.Answers, err = unpackSection(m.Answers, an, "answer"); err != nil {
+		return err
 	}
-	if m.Authority, err = unpackSection(ns, "authority"); err != nil {
-		return nil, err
+	if m.Authority, err = unpackSection(m.Authority, ns, "authority"); err != nil {
+		return err
 	}
-	if m.Additional, err = unpackSection(ar, "additional"); err != nil {
-		return nil, err
+	if m.Additional, err = unpackSection(m.Additional, ar, "additional"); err != nil {
+		return err
 	}
-	return &m, nil
+	return nil
+}
+
+// sectionCap bounds a section preallocation by what the remaining message
+// bytes could physically hold (minBytes is the smallest possible entry on
+// the wire), so a forged header count cannot force a huge allocation.
+func sectionCap(count, remaining, minBytes int) int {
+	max := remaining/minBytes + 1
+	if count < max {
+		return count
+	}
+	return max
 }
 
 func unpackRR(msg []byte, off int) (RR, int, error) {

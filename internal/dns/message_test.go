@@ -1,6 +1,7 @@
 package dns
 
 import (
+	"bytes"
 	"math/rand"
 	"net/netip"
 	"reflect"
@@ -326,5 +327,53 @@ func TestQuickPackTruncatedBound(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestAppendPackWithPrefix(t *testing.T) {
+	m := NewQuery(77, "www.example.com", TypeA).Reply()
+	m.Answers = append(m.Answers,
+		MustParseRR("www.example.com 300 IN CNAME example.com"),
+		MustParseRR("example.com 300 IN A 192.0.2.10"))
+	m.Authority = append(m.Authority,
+		MustParseRR("example.com 86400 IN NS ns1.hosting.test"))
+
+	plain, err := m.Pack()
+	if err != nil {
+		t.Fatal(err)
+	}
+	prefix := []byte("tcp-len-prefix")
+	buf, err := m.AppendPack(append([]byte{}, prefix...))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.HasPrefix(buf, prefix) {
+		t.Fatal("AppendPack clobbered the prefix")
+	}
+	appended := buf[len(prefix):]
+	if !bytes.Equal(appended, plain) {
+		t.Errorf("AppendPack bytes differ from Pack:\n  append: %x\n  pack:   %x", appended, plain)
+	}
+	parsed, err := Unpack(appended)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Answers) != 2 || parsed.Answers[0].Name != "www.example.com" {
+		t.Errorf("round-trip through prefixed AppendPack: %+v", parsed)
+	}
+}
+
+func TestAppendPackReusesCapacity(t *testing.T) {
+	m := NewQuery(1, "www.example.com", TypeA)
+	scratch := make([]byte, 0, 512)
+	buf, err := m.AppendPack(scratch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if &buf[0] != &scratch[:1][0] {
+		t.Error("AppendPack reallocated despite sufficient capacity")
+	}
+	if _, err := Unpack(buf); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -52,7 +52,8 @@ func MustParseName(s string) Name {
 
 // Validate checks RFC 1035 length limits and a permissive LDH-plus character
 // set (letters, digits, hyphen, underscore; underscore appears in real DNS
-// for SRV/DKIM-style names).
+// for SRV/DKIM-style names). It runs on the pack hot path for every name, so
+// it scans the string in place without allocating.
 func (n Name) Validate() error {
 	if n == Root {
 		return nil
@@ -61,7 +62,14 @@ func (n Name) Validate() error {
 	if len(n)+2 > 255 {
 		return ErrNameTooLong
 	}
-	for _, label := range n.Labels() {
+	s := string(n)
+	start := 0
+	for i := 0; i <= len(s); i++ {
+		if i != len(s) && s[i] != '.' {
+			continue
+		}
+		label := s[start:i]
+		start = i + 1
 		if label == "" {
 			return ErrEmptyLabel
 		}
@@ -71,14 +79,14 @@ func (n Name) Validate() error {
 		if label == "*" {
 			continue // wildcard owner label
 		}
-		for i := 0; i < len(label); i++ {
-			c := label[i]
+		for j := 0; j < len(label); j++ {
+			c := label[j]
 			switch {
 			case c >= 'a' && c <= 'z':
 			case c >= '0' && c <= '9':
 			case c == '-' || c == '_':
 			default:
-				return fmt.Errorf("%w: %q in %q", ErrBadLabel, c, string(n))
+				return fmt.Errorf("%w: %q in %q", ErrBadLabel, c, s)
 			}
 		}
 	}
@@ -171,19 +179,70 @@ func (n Name) SLD() Name {
 	return Name(strings.Join(labels[len(labels)-2:], "."))
 }
 
+// compressTableSize is the inline suffix-table capacity of a compressor.
+// Typical authoritative responses register well under 24 suffixes; larger
+// messages spill into a map.
+const compressTableSize = 24
+
+// compressor tracks name-compression state while packing one message.
+// base is the offset of the message's first header byte in the buffer, so
+// AppendPack can extend a buffer that already carries unrelated bytes while
+// compression pointers stay message-relative. A nil *compressor disables
+// compression entirely (query packing skips it: a lone question name has no
+// earlier suffix to point at).
+//
+// The first compressTableSize suffixes live in an inline linear-scan table —
+// for the small messages that dominate a sweep this is both faster than a
+// map and allocation-free; only outsized messages pay for the overflow map.
+type compressor struct {
+	names    [compressTableSize]Name
+	offs     [compressTableSize]uint16
+	n        int
+	overflow map[Name]int
+	base     int
+}
+
+// find returns the message-relative offset where name was first packed.
+func (c *compressor) find(n Name) (int, bool) {
+	for i := 0; i < c.n; i++ {
+		if c.names[i] == n {
+			return int(c.offs[i]), true
+		}
+	}
+	if c.overflow != nil {
+		off, ok := c.overflow[n]
+		return off, ok
+	}
+	return 0, false
+}
+
+// add registers a suffix at a message-relative offset.
+func (c *compressor) add(n Name, off int) {
+	if c.n < compressTableSize {
+		c.names[c.n] = n
+		c.offs[c.n] = uint16(off)
+		c.n++
+		return
+	}
+	if c.overflow == nil {
+		c.overflow = make(map[Name]int, compressTableSize)
+	}
+	c.overflow[n] = off
+}
+
 // packName appends the wire encoding of n to buf, using and updating the
-// compression map (suffix name -> offset). A nil map disables compression.
-func packName(buf []byte, n Name, compress map[Name]int) ([]byte, error) {
+// compression state. A nil compressor disables compression.
+func packName(buf []byte, n Name, c *compressor) ([]byte, error) {
 	if err := n.Validate(); err != nil {
 		return nil, err
 	}
 	for n != Root {
-		if compress != nil {
-			if off, ok := compress[n]; ok && off < 0x3FFF {
+		if c != nil {
+			if off, ok := c.find(n); ok {
 				return append(buf, 0xC0|byte(off>>8), byte(off)), nil
 			}
-			if len(buf) < 0x3FFF {
-				compress[n] = len(buf)
+			if off := len(buf) - c.base; off < 0x3FFF {
+				c.add(n, off)
 			}
 		}
 		label := string(n)
@@ -201,8 +260,11 @@ func packName(buf []byte, n Name, compress map[Name]int) ([]byte, error) {
 // unpackName decodes a possibly-compressed name starting at off. It returns
 // the name and the offset of the first byte after the name in the original
 // stream (compression pointers do not advance the stream past the pointer).
+// Labels are collected into a stack buffer so a decoded name costs a single
+// string allocation.
 func unpackName(msg []byte, off int) (Name, int, error) {
-	var sb strings.Builder
+	var nameBuf [255]byte
+	nb := nameBuf[:0]
 	ptrBudget := 64 // defends against pointer loops
 	end := -1       // offset after the name in the top-level stream
 	for {
@@ -215,7 +277,7 @@ func unpackName(msg []byte, off int) (Name, int, error) {
 			if end < 0 {
 				end = off + 1
 			}
-			name := CanonicalName(sb.String())
+			name := CanonicalName(string(nb))
 			if err := name.Validate(); err != nil {
 				return Root, 0, err
 			}
@@ -243,14 +305,14 @@ func unpackName(msg []byte, off int) (Name, int, error) {
 			if off+1+n > len(msg) {
 				return Root, 0, errors.New("dns: truncated label")
 			}
-			if sb.Len() > 0 {
-				sb.WriteByte('.')
-			}
-			sb.Write(msg[off+1 : off+1+n])
-			off += 1 + n
-			if sb.Len() > 255 {
+			if len(nb)+1+n > 255 {
 				return Root, 0, ErrNameTooLong
 			}
+			if len(nb) > 0 {
+				nb = append(nb, '.')
+			}
+			nb = append(nb, msg[off+1:off+1+n]...)
+			off += 1 + n
 		}
 	}
 }

@@ -115,7 +115,7 @@ func TestPackUnpackNameRoundtrip(t *testing.T) {
 }
 
 func TestNameCompression(t *testing.T) {
-	compress := make(map[Name]int)
+	compress := &compressor{}
 	buf, err := packName(nil, "www.example.com", compress)
 	if err != nil {
 		t.Fatal(err)
@@ -194,7 +194,7 @@ func TestQuickCompressedPackIsEquivalent(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		base := randomName(r)
 		names := []Name{base, base.Child("www"), base.Child("mail"), base.Parent()}
-		compress := make(map[Name]int)
+		compress := &compressor{}
 		var buf []byte
 		var offs []int
 		for _, n := range names {

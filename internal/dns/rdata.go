@@ -17,7 +17,7 @@ type RData interface {
 	// Type returns the RR type this payload belongs to.
 	Type() Type
 	// pack appends the RDATA wire encoding to buf.
-	pack(buf []byte, compress map[Name]int) ([]byte, error)
+	pack(buf []byte, compress *compressor) ([]byte, error)
 	// String returns the zone-file presentation of the payload.
 	String() string
 }
@@ -79,7 +79,7 @@ type A struct {
 // Type implements RData.
 func (a *A) Type() Type { return TypeA }
 
-func (a *A) pack(buf []byte, _ map[Name]int) ([]byte, error) {
+func (a *A) pack(buf []byte, _ *compressor) ([]byte, error) {
 	if !a.Addr.Is4() {
 		return nil, fmt.Errorf("dns: A record with non-IPv4 address %v", a.Addr)
 	}
@@ -98,7 +98,7 @@ type AAAA struct {
 // Type implements RData.
 func (a *AAAA) Type() Type { return TypeAAAA }
 
-func (a *AAAA) pack(buf []byte, _ map[Name]int) ([]byte, error) {
+func (a *AAAA) pack(buf []byte, _ *compressor) ([]byte, error) {
 	if !a.Addr.Is6() || a.Addr.Is4In6() {
 		return nil, fmt.Errorf("dns: AAAA record with non-IPv6 address %v", a.Addr)
 	}
@@ -117,7 +117,7 @@ type NS struct {
 // Type implements RData.
 func (n *NS) Type() Type { return TypeNS }
 
-func (n *NS) pack(buf []byte, compress map[Name]int) ([]byte, error) {
+func (n *NS) pack(buf []byte, compress *compressor) ([]byte, error) {
 	return packName(buf, n.Host, compress)
 }
 
@@ -132,7 +132,7 @@ type CNAME struct {
 // Type implements RData.
 func (c *CNAME) Type() Type { return TypeCNAME }
 
-func (c *CNAME) pack(buf []byte, compress map[Name]int) ([]byte, error) {
+func (c *CNAME) pack(buf []byte, compress *compressor) ([]byte, error) {
 	return packName(buf, c.Target, compress)
 }
 
@@ -147,7 +147,7 @@ type PTR struct {
 // Type implements RData.
 func (p *PTR) Type() Type { return TypePTR }
 
-func (p *PTR) pack(buf []byte, compress map[Name]int) ([]byte, error) {
+func (p *PTR) pack(buf []byte, compress *compressor) ([]byte, error) {
 	return packName(buf, p.Target, compress)
 }
 
@@ -163,7 +163,7 @@ type MX struct {
 // Type implements RData.
 func (m *MX) Type() Type { return TypeMX }
 
-func (m *MX) pack(buf []byte, compress map[Name]int) ([]byte, error) {
+func (m *MX) pack(buf []byte, compress *compressor) ([]byte, error) {
 	buf = append(buf, byte(m.Preference>>8), byte(m.Preference))
 	return packName(buf, m.Host, compress)
 }
@@ -187,7 +187,7 @@ type SOA struct {
 // Type implements RData.
 func (s *SOA) Type() Type { return TypeSOA }
 
-func (s *SOA) pack(buf []byte, compress map[Name]int) ([]byte, error) {
+func (s *SOA) pack(buf []byte, compress *compressor) ([]byte, error) {
 	var err error
 	if buf, err = packName(buf, s.MName, compress); err != nil {
 		return nil, err
@@ -253,7 +253,7 @@ func (t *TXT) Type() Type { return TypeTXT }
 // SPF/DKIM/DMARC consumers interpret multi-string TXT records.
 func (t *TXT) Joined() string { return strings.Join(t.Strings, "") }
 
-func (t *TXT) pack(buf []byte, _ map[Name]int) ([]byte, error) {
+func (t *TXT) pack(buf []byte, _ *compressor) ([]byte, error) {
 	if len(t.Strings) == 0 {
 		return append(buf, 0), nil // single empty string
 	}
@@ -301,7 +301,7 @@ type OPT struct {
 // Type implements RData.
 func (o *OPT) Type() Type { return TypeOPT }
 
-func (o *OPT) pack(buf []byte, _ map[Name]int) ([]byte, error) {
+func (o *OPT) pack(buf []byte, _ *compressor) ([]byte, error) {
 	return append(buf, o.Options...), nil
 }
 
@@ -318,7 +318,7 @@ type Unknown struct {
 // Type implements RData.
 func (u *Unknown) Type() Type { return u.T }
 
-func (u *Unknown) pack(buf []byte, _ map[Name]int) ([]byte, error) {
+func (u *Unknown) pack(buf []byte, _ *compressor) ([]byte, error) {
 	return append(buf, u.Data...), nil
 }
 

@@ -19,10 +19,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math/rand"
 	"net"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/dns"
@@ -57,41 +57,66 @@ type Client struct {
 	// Timeout bounds each attempt when the context has no deadline.
 	Timeout time.Duration
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	// idState drives the query-ID generator: a splitmix64 counter advanced
+	// with a single atomic add, so concurrent sweep workers sharing one
+	// client never serialize on ID generation.
+	idState atomic.Uint64
 }
 
 // NewClient builds a client with sane defaults over the given transport.
 func NewClient(t Transport) *Client {
-	return &Client{
+	c := &Client{
 		Transport: t,
 		Retries:   2,
 		Timeout:   3 * time.Second,
-		rng:       rand.New(rand.NewSource(time.Now().UnixNano())),
 	}
+	c.idState.Store(uint64(time.Now().UnixNano()))
+	return c
 }
 
 // SeedIDs makes query-ID generation deterministic (for tests).
 func (c *Client) SeedIDs(seed int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.rng = rand.New(rand.NewSource(seed))
+	c.idState.Store(uint64(seed))
 }
 
 func (c *Client) nextID() uint16 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if c.rng == nil {
-		c.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
-	}
-	return uint16(c.rng.Uint32())
+	// splitmix64 finalizer over an atomically advanced Weyl sequence.
+	x := c.idState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return uint16(x)
 }
+
+// queryPool recycles query messages on both sides of an exchange. A query
+// message is dead as soon as Exchange returns (responses are separate
+// messages), and on the serve path no Responder retains the decoded query
+// past HandleQuery (replies are built via q.Reply, which copies the question
+// section), so each sweep worker effectively reuses one message instead of
+// allocating ~36M of them across a paper-scale run.
+var queryPool = sync.Pool{New: func() any { return new(dns.Message) }}
 
 // Query sends a (name, type) question to server and returns the validated
 // response.
 func (c *Client) Query(ctx context.Context, server netip.AddrPort, name dns.Name, t dns.Type) (*dns.Message, error) {
-	return c.Exchange(ctx, server, dns.NewQuery(c.nextID(), name, t))
+	q := queryPool.Get().(*dns.Message)
+	q.Header = dns.Header{ID: c.nextID(), RecursionDesired: true}
+	q.Questions = append(q.Questions[:0], dns.Question{Name: name, Type: t, Class: dns.ClassINET})
+	q.Answers, q.Authority, q.Additional = q.Answers[:0], q.Authority[:0], q.Additional[:0]
+	resp, err := c.Exchange(ctx, server, q)
+	queryPool.Put(q)
+	return resp, err
 }
+
+// packBufPool recycles query wire buffers across Exchange calls; transports
+// never retain the packed bytes past their Exchange call, so the buffer can
+// go back in the pool as soon as the attempt loop ends.
+var packBufPool = sync.Pool{New: func() any {
+	b := make([]byte, 0, 512)
+	return &b
+}}
 
 // Exchange sends a prepared query. If the UDP response has TC set, the query
 // is retried over TCP, mirroring standard resolver behaviour.
@@ -99,10 +124,14 @@ func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Mes
 	if q.Header.ID == 0 {
 		q.Header.ID = c.nextID()
 	}
-	packed, err := q.Pack()
+	bp := packBufPool.Get().(*[]byte)
+	packed, err := q.AppendPack((*bp)[:0])
 	if err != nil {
+		packBufPool.Put(bp)
 		return nil, fmt.Errorf("dnsio: pack query: %w", err)
 	}
+	*bp = packed // keep any grown capacity for the next user
+	defer packBufPool.Put(bp)
 	// Deadline management only matters for transports that can block on
 	// real I/O; the in-memory fabric completes synchronously.
 	if c.Timeout > 0 && !isInstant(c.Transport) {
@@ -195,8 +224,9 @@ func udpPayloadSize(q *dns.Message) int {
 // truncation when tcp is false). Malformed queries yield FORMERR when the
 // header survives, nothing otherwise.
 func serveBytes(r Responder, src netip.Addr, raw []byte, tcp bool) []byte {
-	q, err := dns.Unpack(raw)
-	if err != nil {
+	q := queryPool.Get().(*dns.Message)
+	defer queryPool.Put(q)
+	if err := q.UnpackFrom(raw); err != nil {
 		if len(raw) >= 12 {
 			bad := &dns.Message{}
 			bad.Header.ID = uint16(raw[0])<<8 | uint16(raw[1])
@@ -212,6 +242,7 @@ func serveBytes(r Responder, src netip.Addr, raw []byte, tcp bool) []byte {
 		return nil
 	}
 	var out []byte
+	var err error
 	if tcp {
 		out, err = resp.Pack()
 	} else {

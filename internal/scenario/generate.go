@@ -738,6 +738,7 @@ func (w *World) URHunterConfig() *core.Config {
 		Intel:          w.Intel,
 		IDS:            w.IDS,
 		SandboxReports: w.Reports,
+		Seed:           w.Seed,
 		Parallelism:    w.Scale.Parallelism,
 	}
 }

@@ -12,14 +12,21 @@
 // The fabric also keeps per-destination query accounting. The paper's ethics
 // appendix (§A) commits to a bounded per-server query rate; the accounting
 // lets tests assert the collector honours an analogous budget.
+//
+// Accounting is built for multi-core sweeps: totals are atomics, the
+// per-destination books are sharded by destination address, and the service
+// table is an immutable snapshot swapped on (rare) Listen/Unlisten — an
+// exchange on the hot path takes exactly one shard lock and no global lock.
 package simnet
 
 import (
 	"errors"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -55,57 +62,92 @@ func (e Endpoint) String() string {
 	return netip.AddrPortFrom(e.Addr, e.Port).String()
 }
 
-// Fabric is a virtual packet network. The zero value is not usable; call New.
-type Fabric struct {
-	mu       sync.RWMutex
-	services map[Endpoint]Handler
+// statShards is the number of per-destination accounting shards. Power of
+// two so the shard index is a mask away from the address hash.
+const statShards = 64
 
-	lossRate float64
-	baseRTT  time.Duration
-	rng      *rand.Rand
-	rngMu    sync.Mutex
-
-	stats Stats
-}
-
-// Stats is the fabric's traffic accounting.
-type Stats struct {
+// statShard keeps the per-destination books for one slice of the address
+// space. The loss RNG lives here too, so loss injection never serializes
+// exchanges to unrelated destinations.
+type statShard struct {
 	mu         sync.Mutex
-	exchanges  int64
-	drops      int64
 	perDst     map[netip.Addr]int64
 	lastQuery  map[netip.Addr]time.Time
-	minSpacing time.Duration // smallest observed gap between queries to one dst
-	virtualRTT time.Duration // accumulated virtual round-trip time
+	minSpacing time.Duration
+	rng        *rand.Rand
+
+	// Pad shards out to their own cache lines so neighbouring shard locks
+	// don't false-share under heavy parallel sweeps.
+	_ [24]byte
+}
+
+// Fabric is a virtual packet network. The zero value is not usable; call New.
+type Fabric struct {
+	// writeMu serializes the slow path (Listen/Unlisten); the hot path reads
+	// the immutable services snapshot without any lock.
+	writeMu  sync.Mutex
+	services atomic.Pointer[map[Endpoint]Handler]
+
+	lossBits    atomic.Uint64 // math.Float64bits of the loss probability
+	baseRTT     atomic.Int64  // nanoseconds
+	trackPacing atomic.Bool
+
+	exchanges  atomic.Int64
+	drops      atomic.Int64
+	virtualRTT atomic.Int64 // nanoseconds
+
+	shards [statShards]statShard
 }
 
 // New creates an empty fabric. Seed makes loss injection deterministic.
 func New(seed int64) *Fabric {
-	return &Fabric{
-		services: make(map[Endpoint]Handler),
-		rng:      rand.New(rand.NewSource(seed)),
-		baseRTT:  20 * time.Millisecond,
-		stats: Stats{
-			perDst:     make(map[netip.Addr]int64),
-			lastQuery:  make(map[netip.Addr]time.Time),
-			minSpacing: time.Duration(1<<63 - 1),
-		},
+	f := &Fabric{}
+	empty := make(map[Endpoint]Handler)
+	f.services.Store(&empty)
+	f.baseRTT.Store(int64(20 * time.Millisecond))
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.perDst = make(map[netip.Addr]int64)
+		s.minSpacing = time.Duration(1<<63 - 1)
+		s.rng = rand.New(rand.NewSource(seed + int64(i)*0x9E3779B9))
 	}
+	return f
+}
+
+// shardOf hashes a destination address onto its accounting shard.
+func (f *Fabric) shardOf(addr netip.Addr) *statShard {
+	a := addr.As16()
+	// FNV-1a over the low octets, which carry all the entropy for both the
+	// 4-in-6 mapped IPv4 space and sequentially-allocated IPv6 blocks.
+	h := uint32(2166136261)
+	for _, b := range a[8:] {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return &f.shards[h&(statShards-1)]
 }
 
 // SetLossRate configures the probability in [0,1) that any exchange is
 // dropped (client observes ErrTimeout).
 func (f *Fabric) SetLossRate(p float64) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.lossRate = p
+	f.lossBits.Store(math.Float64bits(p))
+}
+
+// lossRate returns the configured loss probability.
+func (f *Fabric) lossRate() float64 {
+	return math.Float64frombits(f.lossBits.Load())
 }
 
 // SetBaseRTT configures the virtual round-trip time accounted per exchange.
 func (f *Fabric) SetBaseRTT(d time.Duration) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	f.baseRTT = d
+	f.baseRTT.Store(int64(d))
+}
+
+// SetTrackPacing enables per-destination inter-query gap tracking (see
+// MinSpacing). Tracking costs a time.Now() per exchange, so it is off by
+// default; pacing tests switch it on, the measurement sweep does not pay
+// for it.
+func (f *Fabric) SetTrackPacing(on bool) {
+	f.trackPacing.Store(on)
 }
 
 // Listen registers a handler for an endpoint. It returns an error if the
@@ -114,28 +156,42 @@ func (f *Fabric) Listen(ep Endpoint, h Handler) error {
 	if h == nil {
 		return errors.New("simnet: nil handler")
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if _, ok := f.services[ep]; ok {
+	f.writeMu.Lock()
+	defer f.writeMu.Unlock()
+	old := *f.services.Load()
+	if _, ok := old[ep]; ok {
 		return fmt.Errorf("simnet: endpoint %s already bound", ep)
 	}
-	f.services[ep] = h
+	next := make(map[Endpoint]Handler, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[ep] = h
+	f.services.Store(&next)
 	return nil
 }
 
 // Unlisten removes a registered endpoint. Removing an unbound endpoint is a
 // no-op.
 func (f *Fabric) Unlisten(ep Endpoint) {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	delete(f.services, ep)
+	f.writeMu.Lock()
+	defer f.writeMu.Unlock()
+	old := *f.services.Load()
+	if _, ok := old[ep]; !ok {
+		return
+	}
+	next := make(map[Endpoint]Handler, len(old)-1)
+	for k, v := range old {
+		if k != ep {
+			next[k] = v
+		}
+	}
+	f.services.Store(&next)
 }
 
 // Bound reports whether any service listens on the endpoint.
 func (f *Fabric) Bound(ep Endpoint) bool {
-	f.mu.RLock()
-	defer f.mu.RUnlock()
-	_, ok := f.services[ep]
+	_, ok := (*f.services.Load())[ep]
 	return ok
 }
 
@@ -144,27 +200,15 @@ func (f *Fabric) Bound(ep Endpoint) bool {
 // layer on top handles the TC bit itself, so truncation here simply cuts the
 // byte slice.
 func (f *Fabric) Exchange(src netip.Addr, dst Endpoint, payload []byte, maxResp int) ([]byte, error) {
-	f.mu.RLock()
-	h, ok := f.services[dst]
-	loss := f.lossRate
-	rtt := f.baseRTT
-	f.mu.RUnlock()
-
-	f.account(dst.Addr, rtt)
+	h, ok := (*f.services.Load())[dst]
+	dropped := f.account(dst.Addr, time.Duration(f.baseRTT.Load()), true)
 
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, dst)
 	}
-	if loss > 0 {
-		f.rngMu.Lock()
-		dropped := f.rng.Float64() < loss
-		f.rngMu.Unlock()
-		if dropped {
-			f.stats.mu.Lock()
-			f.stats.drops++
-			f.stats.mu.Unlock()
-			return nil, ErrTimeout
-		}
+	if dropped {
+		f.drops.Add(1)
+		return nil, ErrTimeout
 	}
 	resp := h.ServePacket(src, payload)
 	if resp == nil {
@@ -179,12 +223,8 @@ func (f *Fabric) Exchange(src netip.Addr, dst Endpoint, payload []byte, maxResp 
 // ExchangeReliable performs a stream-style exchange with no size cap and no
 // loss, modelling TCP.
 func (f *Fabric) ExchangeReliable(src netip.Addr, dst Endpoint, payload []byte) ([]byte, error) {
-	f.mu.RLock()
-	h, ok := f.services[dst]
-	rtt := f.baseRTT
-	f.mu.RUnlock()
-
-	f.account(dst.Addr, 2*rtt) // handshake + exchange
+	h, ok := (*f.services.Load())[dst]
+	f.account(dst.Addr, 2*time.Duration(f.baseRTT.Load()), false) // handshake + exchange
 
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, dst)
@@ -196,55 +236,95 @@ func (f *Fabric) ExchangeReliable(src netip.Addr, dst Endpoint, payload []byte) 
 	return resp, nil
 }
 
-func (f *Fabric) account(dst netip.Addr, rtt time.Duration) {
-	now := time.Now()
-	s := &f.stats
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.exchanges++
-	s.perDst[dst]++
-	if last, ok := s.lastQuery[dst]; ok {
-		if gap := now.Sub(last); gap < s.minSpacing {
-			s.minSpacing = gap
-		}
+// account books one exchange to dst and reports whether loss injection
+// dropped it (lossy exchanges only). Totals are atomics; the per-destination
+// count, the loss draw, and the optional pacing book all live under a single
+// shard lock keyed by dst.
+func (f *Fabric) account(dst netip.Addr, rtt time.Duration, lossy bool) (dropped bool) {
+	f.exchanges.Add(1)
+	f.virtualRTT.Add(int64(rtt))
+
+	pacing := f.trackPacing.Load()
+	var now time.Time
+	if pacing {
+		now = time.Now()
 	}
-	s.lastQuery[dst] = now
-	s.virtualRTT += rtt
+	loss := 0.0
+	if lossy {
+		loss = f.lossRate()
+	}
+
+	s := f.shardOf(dst)
+	s.mu.Lock()
+	s.perDst[dst]++
+	if loss > 0 {
+		dropped = s.rng.Float64() < loss
+	}
+	if pacing {
+		if s.lastQuery == nil {
+			s.lastQuery = make(map[netip.Addr]time.Time)
+		}
+		if last, ok := s.lastQuery[dst]; ok {
+			if gap := now.Sub(last); gap < s.minSpacing {
+				s.minSpacing = gap
+			}
+		}
+		s.lastQuery[dst] = now
+	}
+	s.mu.Unlock()
+	return dropped
 }
 
 // Exchanges returns the total number of exchanges attempted.
 func (f *Fabric) Exchanges() int64 {
-	f.stats.mu.Lock()
-	defer f.stats.mu.Unlock()
-	return f.stats.exchanges
+	return f.exchanges.Load()
 }
 
 // Drops returns the number of exchanges dropped by loss injection.
 func (f *Fabric) Drops() int64 {
-	f.stats.mu.Lock()
-	defer f.stats.mu.Unlock()
-	return f.stats.drops
+	return f.drops.Load()
 }
 
 // QueriesTo returns how many exchanges targeted the given IP.
 func (f *Fabric) QueriesTo(addr netip.Addr) int64 {
-	f.stats.mu.Lock()
-	defer f.stats.mu.Unlock()
-	return f.stats.perDst[addr]
+	s := f.shardOf(addr)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.perDst[addr]
 }
 
 // VirtualRTT returns the accumulated virtual round-trip time across all
 // exchanges — the wall-clock a real-network run of the same query plan would
 // have spent waiting, which the benchmark harness reports alongside CPU time.
 func (f *Fabric) VirtualRTT() time.Duration {
-	f.stats.mu.Lock()
-	defer f.stats.mu.Unlock()
-	return f.stats.virtualRTT
+	return time.Duration(f.virtualRTT.Load())
 }
 
 // Destinations returns the number of distinct IPs that received traffic.
 func (f *Fabric) Destinations() int {
-	f.stats.mu.Lock()
-	defer f.stats.mu.Unlock()
-	return len(f.stats.perDst)
+	n := 0
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		n += len(s.perDst)
+		s.mu.Unlock()
+	}
+	return n
+}
+
+// MinSpacing returns the smallest observed gap between two queries to the
+// same destination, or (maxDuration, false) when pacing tracking was never
+// enabled or no destination saw two queries. Pacing must be switched on with
+// SetTrackPacing before the exchanges of interest.
+func (f *Fabric) MinSpacing() (time.Duration, bool) {
+	min := time.Duration(1<<63 - 1)
+	for i := range f.shards {
+		s := &f.shards[i]
+		s.mu.Lock()
+		if s.minSpacing < min {
+			min = s.minSpacing
+		}
+		s.mu.Unlock()
+	}
+	return min, min != time.Duration(1<<63-1)
 }

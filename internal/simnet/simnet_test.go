@@ -199,6 +199,83 @@ func TestVirtualRTTAccumulates(t *testing.T) {
 	}
 }
 
+func TestPacingTrackingOptIn(t *testing.T) {
+	f := New(1)
+	dst := ep("192.0.2.1", 53)
+	if err := f.Listen(dst, echoHandler()); err != nil {
+		t.Fatal(err)
+	}
+	src := netip.MustParseAddr("10.0.0.1")
+
+	// Pacing is off by default: no gap is ever recorded.
+	for i := 0; i < 5; i++ {
+		if _, err := f.Exchange(src, dst, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, ok := f.MinSpacing(); ok {
+		t.Error("MinSpacing recorded a gap with tracking disabled")
+	}
+
+	f.SetTrackPacing(true)
+	for i := 0; i < 5; i++ {
+		if _, err := f.Exchange(src, dst, nil, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gap, ok := f.MinSpacing()
+	if !ok {
+		t.Fatal("MinSpacing recorded nothing with tracking enabled")
+	}
+	if gap < 0 {
+		t.Errorf("negative gap %v", gap)
+	}
+}
+
+func TestConcurrentLossInjection(t *testing.T) {
+	f := New(7)
+	f.SetLossRate(0.3)
+	f.SetTrackPacing(true)
+	const workers, per = 8, 200
+	dsts := make([]Endpoint, workers)
+	for i := range dsts {
+		dsts[i] = ep(netip.AddrFrom4([4]byte{192, 0, 2, byte(i + 1)}).String(), 53)
+		if err := f.Listen(dsts[i], echoHandler()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src := netip.AddrFrom4([4]byte{10, 0, 0, byte(w)})
+			for i := 0; i < per; i++ {
+				_, err := f.Exchange(src, dsts[w], []byte{byte(i)}, 0)
+				if err != nil && !errors.Is(err, ErrTimeout) {
+					t.Errorf("worker %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := f.Exchanges(); got != workers*per {
+		t.Errorf("Exchanges = %d, want %d", got, workers*per)
+	}
+	drops := f.Drops()
+	if drops < workers*per/10 || drops > workers*per/2 {
+		t.Errorf("drops = %d out of %d, outside plausible band for 30%% loss", drops, workers*per)
+	}
+	var perDst int64
+	for _, d := range dsts {
+		perDst += f.QueriesTo(d.Addr)
+	}
+	if perDst != workers*per {
+		t.Errorf("sum of QueriesTo = %d, want %d", perDst, workers*per)
+	}
+}
+
 func TestEndpointString(t *testing.T) {
 	if got := ep("192.0.2.1", 53).String(); got != "192.0.2.1:53" {
 		t.Errorf("Endpoint.String = %q", got)
