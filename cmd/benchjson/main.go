@@ -78,14 +78,47 @@ func main() {
 
 	run("Table1Pipeline", func(b *testing.B) {
 		var queries int64
+		var cov *core.Coverage
 		for i := 0; i < b.N; i++ {
 			res, err := repro.NewPipeline(env.World).Run(context.Background())
 			if err != nil {
 				b.Fatal(err)
 			}
 			queries = res.Queries
+			cov = res.Coverage
 		}
 		b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
+		b.ReportMetric(100*cov.AnsweredRatio(), "answered_%")
+	})
+	// ChaosPipelineCoverage runs the same pipeline under the acceptance-gate
+	// fault mix (30% loss, 5% wrong-ID spoofing everywhere, two flapping
+	// nameservers) and reports how much of the probe plan still completed —
+	// the robustness counterpart to the clean-run throughput numbers.
+	run("ChaosPipelineCoverage", func(b *testing.B) {
+		w := env.World
+		w.Fabric.SetLossRate(0.30)
+		for i, ns := range w.Nameservers {
+			p := simnet.FaultProfile{WrongIDRate: 0.05}
+			if i < 2 {
+				p.FlapPeriod, p.FlapDown = 16, 3
+			}
+			dnsio.SetSimFault(w.Fabric, ns.Addr, p)
+		}
+		defer func() {
+			w.Fabric.SetLossRate(0)
+			w.Fabric.ClearFaults()
+		}()
+		var cov *core.Coverage
+		for i := 0; i < b.N; i++ {
+			res, err := repro.NewPipeline(w).Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			cov = res.Coverage
+		}
+		b.ReportMetric(100*cov.AnsweredRatio(), "answered_%")
+		b.ReportMetric(float64(cov.RetriedRecovered), "recovered")
+		b.ReportMetric(float64(cov.BreakerTrips), "breaker_trips")
 	})
 	run("CollectorSweep", func(b *testing.B) {
 		cfg := env.World.URHunterConfig()

@@ -144,6 +144,9 @@ type Collector struct {
 	queries   atomic.Int64
 	perServer [queryShards]queryShard
 	probes    [probeShards]probeShard
+	// cov is the sharded coverage book: per-server attempted/answered tallies
+	// plus the failure records feeding the end-of-sweep re-queue pass.
+	cov [covShards]covShard
 
 	// probeFn indirects websim.World.Probe so tests can count or stub the
 	// expensive web fetch; nil when the config carries no web world.
@@ -155,12 +158,18 @@ func NewCollector(cfg *Config) *Collector {
 	client := dnsio.NewClient(&dnsio.SimTransport{Fabric: cfg.Fabric, Src: cfg.SrcAddr})
 	client.Retries = 1
 	client.SeedIDs(0x5eed)
+	// Backoff jitter follows the config seed so two runs over the same world
+	// book identical virtual wall-clock even under chaos.
+	client.Backoff.JitterSeed = uint64(cfg.Seed)
 	c := &Collector{cfg: cfg, client: client}
 	for i := range c.perServer {
 		c.perServer[i].n = make(map[netip.Addr]int64)
 	}
 	for i := range c.probes {
 		c.probes[i].m = make(map[netip.Addr]*probeEntry)
+	}
+	for i := range c.cov {
+		c.cov[i].per = make(map[netip.Addr]*serverCov)
 	}
 	if cfg.Web != nil {
 		c.probeFn = cfg.Web.Probe
@@ -251,9 +260,76 @@ func (c *Collector) CollectURs(ctx context.Context) ([]*UR, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	// End-of-sweep re-queue: probes that failed while a server was flapping,
+	// lossy, or breaker-blocked get one more chance now that the sweep
+	// pressure is off and breakers may have recovered.
+	err := c.requeue(ctx, sweepURs, func(f probeFailure, resp *dns.Message) {
+		if resp.Header.RCode != dns.RCodeSuccess {
+			return
+		}
+		for _, rr := range resp.Answers {
+			if rr.Type() != f.qtype || rr.Name != f.domain {
+				continue
+			}
+			out = append(out, &UR{
+				Server: f.ns,
+				Domain: f.domain,
+				Type:   f.qtype,
+				RData:  rr.Data.String(),
+				TTL:    rr.TTL,
+			})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
 	sortURs(out)
 	c.enrich(out)
 	return out, nil
+}
+
+// requeue re-runs one sweep's failed probes after the main pass, in canonical
+// order so the extra query plan is deterministic. Recovered probes are booked
+// and handed to onAnswer; probes that fail again are refiled with their new
+// failure class (still-open breakers fail fast without touching the fabric).
+func (c *Collector) requeue(ctx context.Context, kind sweepKind, onAnswer func(f probeFailure, resp *dns.Message)) error {
+	fails := c.drainFailures(kind)
+	if len(fails) == 0 {
+		return nil
+	}
+	sortFailures(fails)
+	var lastAddr netip.Addr
+	var issued int64
+	flush := func() {
+		if issued > 0 {
+			c.addQueries(lastAddr, issued)
+			issued = 0
+		}
+	}
+	defer flush()
+	for i, f := range fails {
+		if err := ctx.Err(); err != nil {
+			for _, rest := range fails[i:] {
+				c.refile(rest)
+			}
+			return err
+		}
+		if f.ns.Addr != lastAddr {
+			flush()
+			lastAddr = f.ns.Addr
+		}
+		issued++
+		server := netip.AddrPortFrom(f.ns.Addr, dnsio.DNSPort)
+		resp, err := c.client.Query(ctx, server, f.domain, f.qtype)
+		if err != nil {
+			f.class = dnsio.Classify(err)
+			c.refile(f)
+			continue
+		}
+		c.bookRecovered(f.ns.Addr)
+		onAnswer(f, resp)
+	}
+	return nil
 }
 
 // sortURs puts a UR set into its canonical order: server address, then
@@ -278,12 +354,18 @@ func sortURs(urs []*UR) {
 	})
 }
 
-// collectFromNS queries one nameserver for every target and type.
+// collectFromNS queries one nameserver for every target and type. Every
+// failed probe lands in the failure book for the re-queue pass instead of
+// being silently skipped.
 func (c *Collector) collectFromNS(ctx context.Context, ns NameserverInfo) ([]*UR, error) {
 	var out []*UR
 	server := netip.AddrPortFrom(ns.Addr, dnsio.DNSPort)
-	var issued int64
-	defer func() { c.addQueries(ns.Addr, issued) }()
+	var issued, attempted, answered int64
+	var fails []probeFailure
+	defer func() {
+		c.addQueries(ns.Addr, issued)
+		c.bookSweep(ns.Addr, attempted, answered, fails)
+	}()
 	// Ethics appendix: queries are issued in randomized order, never
 	// walking the target list top-down against any single server.
 	order := c.shuffledTargets(ns.Addr)
@@ -296,8 +378,17 @@ func (c *Collector) collectFromNS(ctx context.Context, ns NameserverInfo) ([]*UR
 				return out, err
 			}
 			issued++
+			attempted++
 			resp, err := c.client.Query(ctx, server, target, qt)
-			if err != nil || resp.Header.RCode != dns.RCodeSuccess {
+			if err != nil {
+				fails = append(fails, probeFailure{
+					ns: ns, domain: target, qtype: qt,
+					class: dnsio.Classify(err), sweep: sweepURs,
+				})
+				continue
+			}
+			answered++
+			if resp.Header.RCode != dns.RCodeSuccess {
 				continue
 			}
 			for _, rr := range resp.Answers {
@@ -434,47 +525,74 @@ func (c *Collector) CollectCorrect(ctx context.Context) (*CorrectDB, error) {
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	err := c.requeue(ctx, sweepCorrect, func(f probeFailure, resp *dns.Message) {
+		c.addCorrectAnswers(db, f.domain, resp)
+	})
+	if err != nil {
+		return nil, err
+	}
 	return db, nil
 }
 
 func (c *Collector) collectCorrectVia(ctx context.Context, db *CorrectDB, resolver netip.Addr) error {
 	server := netip.AddrPortFrom(resolver, dnsio.DNSPort)
-	var issued int64
-	defer func() { c.addQueries(resolver, issued) }()
+	ns := NameserverInfo{Addr: resolver}
+	var issued, attempted, answered int64
+	var fails []probeFailure
+	defer func() {
+		c.addQueries(resolver, issued)
+		c.bookSweep(resolver, attempted, answered, fails)
+	}()
 	for _, target := range c.shuffledTargets(resolver) {
 		for _, qt := range c.cfg.queryTypes() {
 			if err := ctx.Err(); err != nil {
 				return err
 			}
 			issued++
+			attempted++
 			resp, err := c.client.Query(ctx, server, target, qt)
-			if err != nil || resp.Header.RCode != dns.RCodeSuccess {
+			if err != nil {
+				fails = append(fails, probeFailure{
+					ns: ns, domain: target, qtype: qt,
+					class: dnsio.Classify(err), sweep: sweepCorrect,
+				})
 				continue
 			}
-			profile := db.Profile(target)
-			for _, rr := range resp.Answers {
-				switch data := rr.Data.(type) {
-				case *dns.A:
-					var asn ipam.ASN
-					var country, certFP string
-					if info, ok := c.cfg.IPDB.Lookup(data.Addr); ok {
-						asn, country = info.ASN, info.Country
-					}
-					if c.probeFn != nil {
-						if res := c.probe(data.Addr); res.Cert != nil {
-							certFP = res.Cert.Fingerprint
-						}
-					}
-					profile.AddA(data.Addr, asn, country, certFP)
-				case *dns.TXT:
-					profile.AddTXT(rr.Data.String())
-				default:
-					profile.AddOther(rr.Type(), rr.Data.String())
-				}
-			}
+			answered++
+			c.addCorrectAnswers(db, target, resp)
 		}
 	}
 	return nil
+}
+
+// addCorrectAnswers folds one open-resolver response into the
+// legitimate-record database, with the same enrichment either way the
+// response arrived (main sweep or re-queue pass).
+func (c *Collector) addCorrectAnswers(db *CorrectDB, target dns.Name, resp *dns.Message) {
+	if resp.Header.RCode != dns.RCodeSuccess {
+		return
+	}
+	profile := db.Profile(target)
+	for _, rr := range resp.Answers {
+		switch data := rr.Data.(type) {
+		case *dns.A:
+			var asn ipam.ASN
+			var country, certFP string
+			if info, ok := c.cfg.IPDB.Lookup(data.Addr); ok {
+				asn, country = info.ASN, info.Country
+			}
+			if c.probeFn != nil {
+				if res := c.probe(data.Addr); res.Cert != nil {
+					certFP = res.Cert.Fingerprint
+				}
+			}
+			profile.AddA(data.Addr, asn, country, certFP)
+		case *dns.TXT:
+			profile.AddTXT(rr.Data.String())
+		default:
+			profile.AddOther(rr.Type(), rr.Data.String())
+		}
+	}
 }
 
 // CanaryName derives the protective-record canary from the config seed: a
@@ -521,27 +639,52 @@ func (c *Collector) CollectProtective(ctx context.Context) (*ProtectiveDB, error
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	err := c.requeue(ctx, sweepProtective, func(f probeFailure, resp *dns.Message) {
+		addProtectiveAnswers(db, f.ns.Addr, f.qtype, resp)
+	})
+	if err != nil {
+		return nil, err
+	}
 	return db, nil
 }
 
 func (c *Collector) collectProtectiveFrom(ctx context.Context, db *ProtectiveDB, ns NameserverInfo, canary dns.Name) error {
 	server := netip.AddrPortFrom(ns.Addr, dnsio.DNSPort)
-	var issued int64
-	defer func() { c.addQueries(ns.Addr, issued) }()
+	var issued, attempted, answered int64
+	var fails []probeFailure
+	defer func() {
+		c.addQueries(ns.Addr, issued)
+		c.bookSweep(ns.Addr, attempted, answered, fails)
+	}()
 	for _, qt := range c.cfg.queryTypes() {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
 		issued++
+		attempted++
 		resp, err := c.client.Query(ctx, server, canary, qt)
-		if err != nil || resp.Header.RCode != dns.RCodeSuccess {
+		if err != nil {
+			fails = append(fails, probeFailure{
+				ns: ns, domain: canary, qtype: qt,
+				class: dnsio.Classify(err), sweep: sweepProtective,
+			})
 			continue
 		}
-		for _, rr := range resp.Answers {
-			if rr.Type() == qt {
-				db.Add(ns.Addr, qt, rr.Data.String())
-			}
-		}
+		answered++
+		addProtectiveAnswers(db, ns.Addr, qt, resp)
 	}
 	return nil
+}
+
+// addProtectiveAnswers folds one canary response into the protective-record
+// database.
+func addProtectiveAnswers(db *ProtectiveDB, server netip.Addr, qt dns.Type, resp *dns.Message) {
+	if resp.Header.RCode != dns.RCodeSuccess {
+		return
+	}
+	for _, rr := range resp.Answers {
+		if rr.Type() == qt {
+			db.Add(server, qt, rr.Data.String())
+		}
+	}
 }

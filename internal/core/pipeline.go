@@ -23,6 +23,11 @@ type Result struct {
 	// Queries is the total DNS queries issued (the paper's "23 million DNS
 	// responses" analogue).
 	Queries int64
+
+	// Coverage is the measurement-completeness summary across all three
+	// collection sweeps: attempted vs answered probes, failures by class,
+	// re-queue recoveries, and circuit-breaker trips.
+	Coverage *Coverage
 }
 
 // Pipeline chains the three URHunter components.
@@ -76,6 +81,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		Protective: protective,
 		Analyzer:   analyzer,
 		Queries:    p.collector.Queries(),
+		Coverage:   p.collector.Coverage(),
 	}, nil
 }
 

@@ -52,10 +52,24 @@ var (
 // Client issues DNS queries over a Transport.
 type Client struct {
 	Transport Transport
-	// Retries is the number of additional attempts after a timeout.
+	// Retries is the number of additional attempts after a transient failure
+	// (timeout, spoofed or malformed response). Permanent failures — an
+	// unreachable endpoint, a refused TCP dial — return after the first
+	// attempt regardless. Negative values behave like zero: the query is
+	// always attempted once.
 	Retries int
 	// Timeout bounds each attempt when the context has no deadline.
 	Timeout time.Duration
+	// Backoff schedules the pause before each retry. On the sim fabric the
+	// pause is booked on the virtual clock (no real sleep); on real sockets
+	// it is a timer. The zero value disables backoff; NewClient installs
+	// DefaultBackoff.
+	Backoff BackoffPolicy
+	// Breakers is the per-server circuit-breaker set, shared by every worker
+	// using this client: after Threshold consecutive failed exchanges to one
+	// server, further queries fail fast with ErrCircuitOpen until a half-open
+	// probe succeeds. nil disables breaking; NewClient installs the default.
+	Breakers *BreakerSet
 
 	// idState drives the query-ID generator: a splitmix64 counter advanced
 	// with a single atomic add, so concurrent sweep workers sharing one
@@ -69,6 +83,8 @@ func NewClient(t Transport) *Client {
 		Transport: t,
 		Retries:   2,
 		Timeout:   3 * time.Second,
+		Backoff:   DefaultBackoff(),
+		Breakers:  NewBreakerSet(DefaultBreakerConfig()),
 	}
 	c.idState.Store(uint64(time.Now().UnixNano()))
 	return c
@@ -141,14 +157,38 @@ func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Mes
 			defer cancel()
 		}
 	}
+	var br *breaker
+	if c.Breakers != nil {
+		br = c.Breakers.forAddr(server.Addr())
+		if !br.allow(c.Breakers.cfg) {
+			return nil, fmt.Errorf("dnsio: exchange with %s failed: %w", server, ErrCircuitOpen)
+		}
+	}
+	// Retries < 0 must still attempt once: an empty attempt loop would
+	// otherwise report a useless "failed: %!w(<nil>)".
+	retries := c.Retries
+	if retries < 0 {
+		retries = 0
+	}
 	var lastErr error
-	for attempt := 0; attempt <= c.Retries; attempt++ {
+	for attempt := 0; attempt <= retries; attempt++ {
 		if err := ctx.Err(); err != nil {
+			if br != nil && lastErr != nil {
+				br.report(c.Breakers, false)
+			}
 			return nil, err
+		}
+		if attempt > 0 {
+			if err := c.sleep(ctx, c.Backoff.Delay(server, attempt)); err != nil {
+				break
+			}
 		}
 		raw, err := c.Transport.Exchange(ctx, server, packed, false)
 		if err != nil {
 			lastErr = err
+			if IsPermanent(err) {
+				break
+			}
 			continue
 		}
 		resp, err := c.validate(q, raw)
@@ -160,6 +200,9 @@ func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Mes
 			raw, err = c.Transport.Exchange(ctx, server, packed, true)
 			if err != nil {
 				lastErr = err
+				if IsPermanent(err) {
+					break
+				}
 				continue
 			}
 			if resp, err = c.validate(q, raw); err != nil {
@@ -167,7 +210,16 @@ func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Mes
 				continue
 			}
 		}
+		if br != nil {
+			br.report(c.Breakers, true)
+		}
 		return resp, nil
+	}
+	if br != nil {
+		br.report(c.Breakers, false)
+	}
+	if lastErr == nil {
+		lastErr = errors.New("no attempt completed")
 	}
 	return nil, fmt.Errorf("dnsio: exchange with %s failed: %w", server, lastErr)
 }
@@ -175,7 +227,7 @@ func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Mes
 func (c *Client) validate(q *dns.Message, raw []byte) (*dns.Message, error) {
 	resp, err := dns.Unpack(raw)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: %v", ErrMalformed, err)
 	}
 	if !resp.Header.Response {
 		return nil, ErrNotResponse

@@ -1,0 +1,255 @@
+package simnet
+
+import (
+	"encoding/binary"
+	"sync/atomic"
+	"time"
+)
+
+// FaultProfile describes the misbehaviour of one endpoint, layered on top of
+// the fabric-wide knobs (SetLossRate, SetBaseRTT). Real-world sweeps meet
+// nameservers that are slow, lossy, flapping, or actively hostile; a profile
+// lets a chaos run model each of those per server.
+//
+// Every probabilistic draw is a pure hash of (fabric seed, endpoint,
+// per-endpoint exchange sequence number), so a chaos run is reproducible: as
+// long as the order of exchanges *to one endpoint* is stable — the collector
+// sweeps each server from a single worker — the same faults fire at the same
+// points no matter how goroutines interleave across endpoints.
+type FaultProfile struct {
+	// LossRate is the per-endpoint probability in [0,1) that a datagram
+	// exchange is dropped, independent of the fabric-wide loss rate.
+	LossRate float64
+	// ExtraRTT is added to the virtual clock on every exchange, modelling a
+	// slow or distant server.
+	ExtraRTT time.Duration
+	// ServFail short-circuits the handler and answers every DNS query with
+	// SERVFAIL (the query echoed with QR set and RCODE=2).
+	ServFail bool
+	// GarbageRate is the probability that the response payload is replaced
+	// with deterministic pseudo-random bytes.
+	GarbageRate float64
+	// TruncateResp cuts datagram responses to at most this many bytes
+	// (mid-message, unlike the DNS TC mechanism), when > 0.
+	TruncateResp int
+	// WrongIDRate is the probability that the response's leading two bytes —
+	// the DNS message ID — are corrupted, modelling an off-path spoofer.
+	WrongIDRate float64
+	// FlapPeriod/FlapDown model a flapping server on a deterministic duty
+	// cycle: of every FlapPeriod exchanges, the first FlapDown are dropped.
+	FlapPeriod int
+	FlapDown   int
+	// Blackhole silently drops every exchange (the client observes timeouts).
+	Blackhole bool
+}
+
+// faultState pairs a profile with the per-endpoint exchange sequence counter
+// that drives its deterministic draws.
+type faultState struct {
+	p   FaultProfile
+	seq atomic.Int64
+}
+
+// SetFault installs (or replaces) a fault profile for one endpoint. The
+// profile's sequence counter restarts at zero.
+func (f *Fabric) SetFault(ep Endpoint, p FaultProfile) {
+	f.writeMu.Lock()
+	defer f.writeMu.Unlock()
+	var old map[Endpoint]*faultState
+	if mp := f.faults.Load(); mp != nil {
+		old = *mp
+	}
+	next := make(map[Endpoint]*faultState, len(old)+1)
+	for k, v := range old {
+		next[k] = v
+	}
+	next[ep] = &faultState{p: p}
+	f.faults.Store(&next)
+}
+
+// ClearFault removes the fault profile for one endpoint.
+func (f *Fabric) ClearFault(ep Endpoint) {
+	f.writeMu.Lock()
+	defer f.writeMu.Unlock()
+	mp := f.faults.Load()
+	if mp == nil {
+		return
+	}
+	old := *mp
+	if _, ok := old[ep]; !ok {
+		return
+	}
+	if len(old) == 1 {
+		f.faults.Store(nil)
+		return
+	}
+	next := make(map[Endpoint]*faultState, len(old)-1)
+	for k, v := range old {
+		if k != ep {
+			next[k] = v
+		}
+	}
+	f.faults.Store(&next)
+}
+
+// ClearFaults removes every installed fault profile.
+func (f *Fabric) ClearFaults() {
+	f.writeMu.Lock()
+	defer f.writeMu.Unlock()
+	f.faults.Store(nil)
+}
+
+// FaultFor returns the installed profile for an endpoint, if any.
+func (f *Fabric) FaultFor(ep Endpoint) (FaultProfile, bool) {
+	mp := f.faults.Load()
+	if mp == nil {
+		return FaultProfile{}, false
+	}
+	st, ok := (*mp)[ep]
+	if !ok {
+		return FaultProfile{}, false
+	}
+	return st.p, true
+}
+
+// faultOf returns the fault state for an endpoint on the hot path: one atomic
+// pointer load, and a map lookup only when any profile is installed.
+func (f *Fabric) faultOf(ep Endpoint) *faultState {
+	mp := f.faults.Load()
+	if mp == nil {
+		return nil
+	}
+	return (*mp)[ep]
+}
+
+// AdvanceVirtual books extra time on the fabric's virtual clock — the client
+// layer uses it to account retry backoff without real sleeps in-sim.
+func (f *Fabric) AdvanceVirtual(d time.Duration) {
+	if d > 0 {
+		f.virtualRTT.Add(int64(d))
+	}
+}
+
+// FaultDrops returns how many exchanges per-endpoint faults swallowed
+// (blackhole, flap window, per-endpoint loss).
+func (f *Fabric) FaultDrops() int64 { return f.faultDrops.Load() }
+
+// SpoofsInjected returns how many responses had their DNS ID corrupted.
+func (f *Fabric) SpoofsInjected() int64 { return f.spoofs.Load() }
+
+// GarbageInjected returns how many responses were replaced with garbage.
+func (f *Fabric) GarbageInjected() int64 { return f.garbage.Load() }
+
+// Salts separating the independent draw streams of one profile.
+const (
+	saltLoss uint64 = iota + 1
+	saltWrongID
+	saltGarbage
+	saltGarbageBytes
+)
+
+// mix64 is the splitmix64 finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+// chaosHash derives the deterministic draw for (seed, endpoint, seq, salt).
+func (f *Fabric) chaosHash(ep Endpoint, seq uint64, salt uint64) uint64 {
+	a := ep.Addr.As16()
+	x := uint64(f.seed)*0x9E3779B97F4A7C15 + salt
+	x = mix64(x ^ binary.LittleEndian.Uint64(a[0:8]))
+	x = mix64(x ^ binary.LittleEndian.Uint64(a[8:16]))
+	x = mix64(x ^ uint64(ep.Port)<<32 ^ seq)
+	return x
+}
+
+// chaosFloat maps a hash onto [0,1).
+func chaosFloat(h uint64) float64 {
+	return float64(h>>11) / float64(uint64(1)<<53)
+}
+
+// servFailEcho builds a SERVFAIL answer from the raw query: the query bytes
+// echoed with QR set and RCODE=2. The fabric is byte-oriented, but the
+// traffic it carries in this reproduction is DNS, so the 12-octet header
+// layout is fair game for fault injection.
+func servFailEcho(req []byte) []byte {
+	if len(req) < 12 {
+		return nil
+	}
+	out := make([]byte, len(req))
+	copy(out, req)
+	out[2] |= 0x80              // QR: this is a response
+	out[3] = out[3]&0xF0 | 0x02 // RCODE: SERVFAIL
+	return out
+}
+
+// garbageBytes derives a deterministic pseudo-random payload from one hash.
+func garbageBytes(h uint64) []byte {
+	out := make([]byte, 40)
+	for i := 0; i < len(out); i += 8 {
+		h = mix64(h)
+		binary.LittleEndian.PutUint64(out[i:], h)
+	}
+	return out
+}
+
+// applyFault runs one exchange through an endpoint's fault profile. dispatch
+// performs the real handler call; it is skipped when the profile swallows the
+// request or answers SERVFAIL itself. lossy marks datagram semantics —
+// per-endpoint loss and byte truncation only apply there, never on the
+// reliable path.
+func (f *Fabric) applyFault(st *faultState, ep Endpoint, req []byte, lossy bool, dispatch func() []byte) ([]byte, error) {
+	seq := uint64(st.seq.Add(1) - 1)
+	p := &st.p
+	if p.ExtraRTT > 0 {
+		f.virtualRTT.Add(int64(p.ExtraRTT))
+	}
+	if p.Blackhole {
+		f.dropFault()
+		return nil, ErrTimeout
+	}
+	if p.FlapPeriod > 0 && int(seq%uint64(p.FlapPeriod)) < p.FlapDown {
+		f.dropFault()
+		return nil, ErrTimeout
+	}
+	if lossy && p.LossRate > 0 && chaosFloat(f.chaosHash(ep, seq, saltLoss)) < p.LossRate {
+		f.dropFault()
+		return nil, ErrTimeout
+	}
+	var resp []byte
+	if p.ServFail {
+		resp = servFailEcho(req)
+	} else {
+		resp = dispatch()
+	}
+	if resp == nil {
+		return nil, ErrTimeout
+	}
+	if p.WrongIDRate > 0 && len(resp) >= 2 && chaosFloat(f.chaosHash(ep, seq, saltWrongID)) < p.WrongIDRate {
+		spoofed := make([]byte, len(resp))
+		copy(spoofed, resp)
+		spoofed[0] ^= 0xA5
+		spoofed[1] ^= 0x5A
+		resp = spoofed
+		f.spoofs.Add(1)
+	}
+	if p.GarbageRate > 0 && chaosFloat(f.chaosHash(ep, seq, saltGarbage)) < p.GarbageRate {
+		resp = garbageBytes(f.chaosHash(ep, seq, saltGarbageBytes))
+		f.garbage.Add(1)
+	}
+	if lossy && p.TruncateResp > 0 && len(resp) > p.TruncateResp {
+		resp = resp[:p.TruncateResp]
+	}
+	return resp, nil
+}
+
+// dropFault books one fault-injected drop on both drop counters.
+func (f *Fabric) dropFault() {
+	f.drops.Add(1)
+	f.faultDrops.Add(1)
+}

@@ -83,25 +83,35 @@ type statShard struct {
 
 // Fabric is a virtual packet network. The zero value is not usable; call New.
 type Fabric struct {
-	// writeMu serializes the slow path (Listen/Unlisten); the hot path reads
-	// the immutable services snapshot without any lock.
+	// writeMu serializes the slow path (Listen/Unlisten/SetFault); the hot
+	// path reads the immutable services and faults snapshots without any lock.
 	writeMu  sync.Mutex
 	services atomic.Pointer[map[Endpoint]Handler]
+	// faults is the per-endpoint chaos configuration; nil when no profile is
+	// installed, so fault-free sweeps pay one atomic load and no map lookup.
+	faults atomic.Pointer[map[Endpoint]*faultState]
 
 	lossBits    atomic.Uint64 // math.Float64bits of the loss probability
 	baseRTT     atomic.Int64  // nanoseconds
 	trackPacing atomic.Bool
 
+	// seed also keys the per-endpoint fault draws (see faults.go).
+	seed int64
+
 	exchanges  atomic.Int64
 	drops      atomic.Int64
+	faultDrops atomic.Int64
+	spoofs     atomic.Int64
+	garbage    atomic.Int64
 	virtualRTT atomic.Int64 // nanoseconds
 
 	shards [statShards]statShard
 }
 
-// New creates an empty fabric. Seed makes loss injection deterministic.
+// New creates an empty fabric. Seed makes loss and fault injection
+// deterministic.
 func New(seed int64) *Fabric {
-	f := &Fabric{}
+	f := &Fabric{seed: seed}
 	empty := make(map[Endpoint]Handler)
 	f.services.Store(&empty)
 	f.baseRTT.Store(int64(20 * time.Millisecond))
@@ -210,7 +220,18 @@ func (f *Fabric) Exchange(src netip.Addr, dst Endpoint, payload []byte, maxResp 
 		f.drops.Add(1)
 		return nil, ErrTimeout
 	}
-	resp := h.ServePacket(src, payload)
+	var resp []byte
+	if st := f.faultOf(dst); st != nil {
+		var err error
+		resp, err = f.applyFault(st, dst, payload, true, func() []byte {
+			return h.ServePacket(src, payload)
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		resp = h.ServePacket(src, payload)
+	}
 	if resp == nil {
 		return nil, ErrTimeout
 	}
@@ -229,7 +250,18 @@ func (f *Fabric) ExchangeReliable(src netip.Addr, dst Endpoint, payload []byte) 
 	if !ok {
 		return nil, fmt.Errorf("%w: %s", ErrUnreachable, dst)
 	}
-	resp := h.ServePacket(src, payload)
+	var resp []byte
+	if st := f.faultOf(dst); st != nil {
+		var err error
+		resp, err = f.applyFault(st, dst, payload, false, func() []byte {
+			return h.ServePacket(src, payload)
+		})
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		resp = h.ServePacket(src, payload)
+	}
 	if resp == nil {
 		return nil, ErrTimeout
 	}
