@@ -5,6 +5,12 @@
 // Usage:
 //
 //	urhunter [-scale tiny|small|paper] [-seed N] [-top N] [-domains N]
+//	         [-journal DIR | -resume DIR] [-checkpoint-every N]
+//
+// With -journal, every answered probe is checkpointed into DIR as the sweep
+// runs; a run killed by SIGINT/SIGTERM (first signal drains gracefully,
+// second hard-exits) can be continued with -resume DIR, skipping every
+// already-answered probe and producing a byte-identical report.
 package main
 
 import (
@@ -12,6 +18,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
 	"time"
 
 	"repro"
@@ -25,7 +34,15 @@ func main() {
 	jsonOut := flag.String("json", "", "write the classified records as JSON to this file")
 	csvOut := flag.String("csv", "", "write the classified records as CSV to this file")
 	allRecords := flag.Bool("all", false, "export every UR, not only the suspicious set")
+	journalDir := flag.String("journal", "", "checkpoint the sweep into this directory (created if missing)")
+	resumeDir := flag.String("resume", "", "resume a checkpointed run from this directory")
+	ckptEvery := flag.Int("checkpoint-every", 0, "flush the journal every N records (0 = default)")
 	flag.Parse()
+
+	if *journalDir != "" && *resumeDir != "" {
+		fmt.Fprintln(os.Stderr, "urhunter: -journal and -resume are mutually exclusive (both name the same directory)")
+		os.Exit(2)
+	}
 
 	scale, ok := repro.ScaleByName(*scaleName)
 	if !ok {
@@ -44,11 +61,63 @@ func main() {
 		time.Since(start).Round(time.Millisecond), len(world.Nameservers),
 		len(world.Targets), len(world.Resolvers.Resolvers), len(world.Samples))
 
+	// First SIGINT/SIGTERM cancels the sweep context: in-flight probes
+	// finish, the journal flushes, and the partial coverage books print.
+	// A second signal hard-exits.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "urhunter: signal received, draining sweep (signal again to hard-exit)")
+		cancel()
+		<-sig
+		fmt.Fprintln(os.Stderr, "urhunter: second signal, exiting now")
+		os.Exit(130)
+	}()
+
 	start = time.Now()
-	pipe := repro.NewPipeline(world)
-	res, err := pipe.Run(context.Background())
+	var pipe *repro.Pipeline
+	var journal *repro.Journal
+	if dir := *journalDir + *resumeDir; dir != "" {
+		if *resumeDir != "" {
+			if _, err := os.Stat(filepath.Join(dir, "manifest.json")); err != nil {
+				fmt.Fprintf(os.Stderr, "urhunter: -resume %s: no journal manifest there: %v\n", dir, err)
+				os.Exit(2)
+			}
+		}
+		pipe, journal, err = repro.NewJournaledPipeline(world, dir, repro.JournalOptions{CheckpointEvery: *ckptEvery})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urhunter: journal: %v\n", err)
+			os.Exit(1)
+		}
+		defer journal.Close()
+		if journal.Resumed() {
+			fmt.Printf("resuming from %s: %d answered probes replayed, %d failures refiled",
+				dir, journal.ReplayedAnswered(), journal.ReplayedFailures())
+			if torn := journal.TornSegments(); torn > 0 {
+				fmt.Printf(" (%d torn segment tails discarded)", torn)
+			}
+			fmt.Println()
+		} else {
+			fmt.Printf("checkpointing sweep into %s\n", dir)
+		}
+	} else {
+		pipe = repro.NewPipeline(world)
+	}
+	res, err := pipe.Run(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "urhunter: pipeline: %v\n", err)
+		if res != nil && res.Coverage != nil {
+			cov := res.Coverage
+			fmt.Fprintf(os.Stderr, "urhunter: partial coverage before interruption: %d/%d probes answered (%.1f%%), %d queries issued\n",
+				cov.Answered, cov.Attempted, 100*cov.AnsweredRatio(), res.Queries)
+		}
+		if journal != nil {
+			journal.Close()
+			fmt.Fprintf(os.Stderr, "urhunter: journal holds %d new records; continue with -resume\n", journal.Appended())
+		}
 		os.Exit(1)
 	}
 	fmt.Printf("pipeline finished in %v (virtual network RTT %v)\n",

@@ -75,6 +75,23 @@ type Config struct {
 	// not sleep; the collector keeps the books so PoliteScanEstimate can
 	// report the polite wall-clock. Zero selects the paper's 130 s.
 	PoliteInterval time.Duration
+
+	// Journal, when non-nil, checkpoints the sweep: workers append every
+	// answered probe and failure-book entry to per-worker segment files,
+	// and a journal opened over a prior (interrupted) run's directory
+	// replays that state so already-answered probes are never re-queried.
+	// See OpenJournal.
+	Journal *Journal
+
+	// Transport overrides the client transport. Nil selects the simulated
+	// fabric (SimTransport over Fabric); tests and real-network runs
+	// substitute their own.
+	Transport dnsio.Transport
+
+	// Watchdog tunes the per-worker stall watchdog. Nil selects the default
+	// policy: active only over transports that can actually block — the
+	// in-memory fabric completes synchronously and cannot stall a worker.
+	Watchdog *WatchdogConfig
 }
 
 func (c *Config) politeInterval() time.Duration {
@@ -151,17 +168,36 @@ type Collector struct {
 	// probeFn indirects websim.World.Probe so tests can count or stub the
 	// expensive web fetch; nil when the config carries no web world.
 	probeFn func(src, dst netip.Addr) websim.ProbeResult
+
+	// journal is the optional checkpoint store; skip marks every probe the
+	// journal replayed so workers never re-query it. skip is built during
+	// the single-threaded replay at each sweep's start and read-only while
+	// workers run.
+	journal *Journal
+	skip    map[probeKey]struct{}
+
+	// wd is the stall watchdog; nil when the transport cannot stall.
+	wd *watchdog
+
+	// nsInfo lazily indexes nameserver metadata by address so journal
+	// replay can restore full NameserverInfo from the stored probe keys.
+	nsInfoOnce sync.Once
+	nsInfo     map[netip.Addr]NameserverInfo
 }
 
 // NewCollector builds a collector over the configured fabric.
 func NewCollector(cfg *Config) *Collector {
-	client := dnsio.NewClient(&dnsio.SimTransport{Fabric: cfg.Fabric, Src: cfg.SrcAddr})
+	transport := cfg.Transport
+	if transport == nil {
+		transport = &dnsio.SimTransport{Fabric: cfg.Fabric, Src: cfg.SrcAddr}
+	}
+	client := dnsio.NewClient(transport)
 	client.Retries = 1
 	client.SeedIDs(0x5eed)
 	// Backoff jitter follows the config seed so two runs over the same world
 	// book identical virtual wall-clock even under chaos.
 	client.Backoff.JitterSeed = uint64(cfg.Seed)
-	c := &Collector{cfg: cfg, client: client}
+	c := &Collector{cfg: cfg, client: client, journal: cfg.Journal}
 	for i := range c.perServer {
 		c.perServer[i].n = make(map[netip.Addr]int64)
 	}
@@ -174,7 +210,199 @@ func NewCollector(cfg *Config) *Collector {
 	if cfg.Web != nil {
 		c.probeFn = cfg.Web.Probe
 	}
+	// The watchdog only matters over transports that can block a worker;
+	// the fabric is synchronous, so by default it stays off there (Force
+	// overrides, for tests).
+	if !dnsio.IsInstant(transport) || (cfg.Watchdog != nil && cfg.Watchdog.Force) {
+		c.wd = newWatchdog(cfg.parallelism(), c.probeBudget(), cfg.Watchdog)
+	}
 	return c
+}
+
+// probeBudget estimates the worst-case virtual-clock budget of one probe:
+// every attempt's timeout plus the maximum backoff between attempts. The
+// watchdog's stall deadline is a multiple of this.
+func (c *Collector) probeBudget() time.Duration {
+	attempts := c.client.Retries + 1
+	if attempts < 1 {
+		attempts = 1
+	}
+	per := c.client.Timeout
+	if per <= 0 {
+		per = 3 * time.Second
+	}
+	budget := time.Duration(attempts) * per
+	if c.client.Backoff.Max > 0 {
+		budget += time.Duration(attempts-1) * c.client.Backoff.Max
+	}
+	return budget
+}
+
+// newSegment opens a journal segment for one worker, or returns nil when
+// journaling is off.
+func (c *Collector) newSegment() (*segmentWriter, error) {
+	if c.journal == nil {
+		return nil, nil
+	}
+	return c.journal.acquireSegment()
+}
+
+// releaseSegment flushes and parks a worker's segment writer at sweep end;
+// nil-safe for unjournaled sweeps. Flush errors only shorten the journal
+// tail (those probes re-query on resume), so they don't fail the sweep.
+func (c *Collector) releaseSegment(seg *segmentWriter) {
+	if seg != nil {
+		_ = c.journal.releaseSegment(seg)
+	}
+}
+
+// nsInfoFor restores full nameserver metadata for a journaled probe key.
+// Open resolvers carry address-only info, same as the live sweep builds.
+func (c *Collector) nsInfoFor(addr netip.Addr) NameserverInfo {
+	c.nsInfoOnce.Do(func() {
+		c.nsInfo = make(map[netip.Addr]NameserverInfo, len(c.cfg.Nameservers))
+		for _, ns := range c.cfg.Nameservers {
+			c.nsInfo[ns.Addr] = ns
+		}
+	})
+	if ns, ok := c.nsInfo[addr]; ok {
+		return ns
+	}
+	return NameserverInfo{Addr: addr}
+}
+
+// replayed reports whether the journal already holds this probe's outcome.
+func (c *Collector) replayed(kind sweepKind, server netip.Addr, domain dns.Name, qt dns.Type) bool {
+	if c.skip == nil {
+		return false
+	}
+	_, ok := c.skip[probeKey{sweep: kind, server: server, domain: domain, qtype: qt}]
+	return ok
+}
+
+// replaySweep folds one sweep's journaled outcomes back into the books
+// before the live pass: answered probes re-enter through onAnswer — the
+// same fold the live path uses, so a resumed report is byte-identical —
+// failures are refiled for the re-queue pass, and every replayed key is
+// marked so workers skip it. Runs single-threaded at sweep start.
+func (c *Collector) replaySweep(kind sweepKind, onAnswer func(ns NameserverInfo, domain dns.Name, qt dns.Type, resp *dns.Message)) {
+	if c.journal == nil || c.journal.rs == nil {
+		return
+	}
+	rs := c.journal.rs
+	if c.skip == nil {
+		c.skip = make(map[probeKey]struct{}, len(rs.answered)+len(rs.failed))
+	}
+	type tally struct{ att, ans, rec int64 }
+	per := make(map[netip.Addr]*tally)
+	bump := func(addr netip.Addr) *tally {
+		t := per[addr]
+		if t == nil {
+			t = &tally{}
+			per[addr] = t
+		}
+		return t
+	}
+	for key, raw := range rs.answered {
+		if key.sweep != kind {
+			continue
+		}
+		resp, err := dns.Unpack(raw)
+		if err != nil {
+			// CRC-clean but undecodable: do not trust it, do not skip it —
+			// the probe is simply re-queried by the live pass.
+			continue
+		}
+		c.skip[key] = struct{}{}
+		t := bump(key.server)
+		t.att++
+		t.ans++
+		if _, hadFailed := rs.failed[key]; hadFailed {
+			t.rec++
+		}
+		onAnswer(c.nsInfoFor(key.server), key.domain, key.qtype, resp)
+	}
+	for key, class := range rs.failed {
+		if key.sweep != kind {
+			continue
+		}
+		if _, ok := rs.answered[key]; ok {
+			continue // recovered: handled above
+		}
+		c.skip[key] = struct{}{}
+		bump(key.server).att++
+		c.refile(probeFailure{
+			ns: c.nsInfoFor(key.server), domain: key.domain, qtype: key.qtype,
+			class: class, sweep: kind,
+		})
+	}
+	for addr, t := range per {
+		c.bookReplay(addr, t.att, t.ans, t.rec)
+	}
+}
+
+// probeQuery issues one probe under the stall watchdog (when active). The
+// watchdog cancels a probe stuck past the deadline; a transport that
+// ignores even cancellation is abandoned after a grace period so the worker
+// keeps the sweep moving either way.
+//
+// When the sweep is journaled (seg non-nil) the answered response's wire
+// bytes are returned alongside the decoded message so the caller can journal
+// exactly what the server sent without re-packing it.
+func (c *Collector) probeQuery(ctx context.Context, slot *stallSlot, seg *segmentWriter, server netip.AddrPort, name dns.Name, qt dns.Type) (*dns.Message, []byte, dnsio.FailClass, error) {
+	if c.wd == nil || slot == nil {
+		if seg == nil {
+			resp, err := c.client.Query(ctx, server, name, qt)
+			return resp, nil, dnsio.Classify(err), err
+		}
+		resp, wire, err := c.client.QueryWire(ctx, server, name, qt)
+		return resp, wire, dnsio.Classify(err), err
+	}
+	pctx, cancel := slot.arm(ctx)
+	defer cancel()
+	type qres struct {
+		resp *dns.Message
+		wire []byte
+		err  error
+	}
+	ch := make(chan qres, 1)
+	go func() {
+		if seg == nil {
+			resp, err := c.client.Query(pctx, server, name, qt)
+			ch <- qres{resp, nil, err}
+			return
+		}
+		resp, wire, err := c.client.QueryWire(pctx, server, name, qt)
+		ch <- qres{resp, wire, err}
+	}()
+	finish := func(r qres) (*dns.Message, []byte, dnsio.FailClass, error) {
+		stalled := slot.disarm()
+		if stalled && r.err != nil {
+			return nil, nil, dnsio.FailStalled, r.err
+		}
+		return r.resp, r.wire, dnsio.Classify(r.err), r.err
+	}
+	select {
+	case r := <-ch:
+		return finish(r)
+	case <-pctx.Done():
+		// Cancelled — by the watchdog (stall) or the parent context. Give
+		// the in-flight query a grace period to unwind, then walk away.
+		grace := time.NewTimer(c.wd.grace)
+		defer grace.Stop()
+		select {
+		case r := <-ch:
+			return finish(r)
+		case <-grace.C:
+			stalled := slot.disarm()
+			err := errStallAbandoned(fmt.Sprintf("probe %s %s/%d", server, name, uint16(qt)), pctx.Err())
+			class := dnsio.FailStalled
+			if !stalled {
+				class = dnsio.Classify(pctx.Err())
+			}
+			return nil, nil, class, err
+		}
+	}
 }
 
 // Queries returns the number of DNS queries issued so far.
@@ -216,32 +444,83 @@ func (c *Collector) PoliteScanEstimate() time.Duration {
 	return time.Duration(max) * c.cfg.politeInterval()
 }
 
+// feed queues jobs until the list is exhausted, the context is cancelled,
+// or a worker flags a fatal error. Selecting on ctx.Done() keeps
+// cancellation prompt: the producer must stop feeding, not queue every
+// remaining server at a drained pool.
+func feed[T any](ctx context.Context, jobs chan<- T, stop *atomic.Bool, items []T) {
+	defer close(jobs)
+	done := ctx.Done()
+	for _, item := range items {
+		if stop.Load() {
+			return
+		}
+		select {
+		case jobs <- item:
+		case <-done:
+			return
+		}
+	}
+}
+
 // CollectURs sweeps every (nameserver, target, type) triple, skipping pairs
 // where the target is exactly delegated to the nameserver, and returns the
 // undelegated records extracted from NOERROR responses.
 //
 // Workers accumulate into private slices and merge once when the job channel
-// drains; the merged set is then put into a canonical order, so the output
-// is byte-identical at any Parallelism setting.
+// drains; journal-replayed records land in the same merge set before the
+// workers start. The merged set is then put into a canonical order, so the
+// output is byte-identical at any Parallelism setting — resumed or not.
 func (c *Collector) CollectURs(ctx context.Context) ([]*UR, error) {
+	var out []*UR
+	c.replaySweep(sweepURs, func(ns NameserverInfo, domain dns.Name, qt dns.Type, resp *dns.Message) {
+		if resp.Header.RCode != dns.RCodeSuccess {
+			return
+		}
+		for _, rr := range resp.Answers {
+			if rr.Type() != qt || rr.Name != domain {
+				continue
+			}
+			out = append(out, &UR{
+				Server: ns,
+				Domain: domain,
+				Type:   qt,
+				RData:  rr.Data.String(),
+				TTL:    rr.TTL,
+			})
+		}
+	})
+	c.wd.start()
+	defer c.wd.stop()
+
 	jobs := make(chan NameserverInfo)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	var out []*UR
 	var firstErr error
+	var stop atomic.Bool
 
 	workers := c.cfg.parallelism()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot *stallSlot) {
 			defer wg.Done()
 			var local []*UR
-			var localErr error
+			seg, localErr := c.newSegment()
+			if seg != nil {
+				defer c.releaseSegment(seg)
+			}
+			if localErr != nil {
+				stop.Store(true)
+			}
 			for ns := range jobs {
-				urs, err := c.collectFromNS(ctx, ns)
+				if localErr != nil {
+					continue // keep draining so the feeder never blocks
+				}
+				urs, err := c.collectFromNS(ctx, ns, seg, slot)
 				local = append(local, urs...)
-				if err != nil && localErr == nil {
+				if err != nil {
 					localErr = err
+					stop.Store(true)
 				}
 			}
 			mu.Lock()
@@ -250,13 +529,15 @@ func (c *Collector) CollectURs(ctx context.Context) ([]*UR, error) {
 				firstErr = localErr
 			}
 			mu.Unlock()
-		}()
+		}(c.wd.slot(w))
 	}
-	for _, ns := range c.cfg.Nameservers {
-		jobs <- ns
-	}
-	close(jobs)
+	feed(ctx, jobs, &stop, c.cfg.Nameservers)
 	wg.Wait()
+	if firstErr == nil {
+		// A cancellation that lands between jobs starves the pool without any
+		// worker seeing an error; the sweep is still incomplete.
+		firstErr = ctx.Err()
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -297,7 +578,21 @@ func (c *Collector) requeue(ctx context.Context, kind sweepKind, onAnswer func(f
 	if len(fails) == 0 {
 		return nil
 	}
+	seg, segErr := c.newSegment()
+	if segErr != nil {
+		for _, f := range fails {
+			c.refile(f)
+		}
+		return segErr
+	}
+	if seg != nil {
+		defer c.releaseSegment(seg)
+	}
 	sortFailures(fails)
+	// The re-queue pass runs on the caller goroutine; it gets the watchdog's
+	// spare slot (index workers), reserved so a stalled retry cannot wedge
+	// the tail of the sweep either.
+	slot := c.wd.slot(c.cfg.parallelism())
 	var lastAddr netip.Addr
 	var issued int64
 	flush := func() {
@@ -320,13 +615,29 @@ func (c *Collector) requeue(ctx context.Context, kind sweepKind, onAnswer func(f
 		}
 		issued++
 		server := netip.AddrPortFrom(f.ns.Addr, dnsio.DNSPort)
-		resp, err := c.client.Query(ctx, server, f.domain, f.qtype)
+		resp, wire, class, err := c.probeQuery(ctx, slot, seg, server, f.domain, f.qtype)
 		if err != nil {
-			f.class = dnsio.Classify(err)
+			f.class = class
 			c.refile(f)
+			if seg != nil {
+				if jerr := seg.failure(kind, f.ns.Addr, f.domain, f.qtype, class); jerr != nil {
+					for _, rest := range fails[i+1:] {
+						c.refile(rest)
+					}
+					return jerr
+				}
+			}
 			continue
 		}
 		c.bookRecovered(f.ns.Addr)
+		if seg != nil {
+			if jerr := seg.answered(kind, f.ns.Addr, f.domain, f.qtype, wire); jerr != nil {
+				for _, rest := range fails[i+1:] {
+					c.refile(rest)
+				}
+				return jerr
+			}
+		}
 		onAnswer(f, resp)
 	}
 	return nil
@@ -357,7 +668,7 @@ func sortURs(urs []*UR) {
 // collectFromNS queries one nameserver for every target and type. Every
 // failed probe lands in the failure book for the re-queue pass instead of
 // being silently skipped.
-func (c *Collector) collectFromNS(ctx context.Context, ns NameserverInfo) ([]*UR, error) {
+func (c *Collector) collectFromNS(ctx context.Context, ns NameserverInfo, seg *segmentWriter, slot *stallSlot) ([]*UR, error) {
 	var out []*UR
 	server := netip.AddrPortFrom(ns.Addr, dnsio.DNSPort)
 	var issued, attempted, answered int64
@@ -377,17 +688,30 @@ func (c *Collector) collectFromNS(ctx context.Context, ns NameserverInfo) ([]*UR
 			if err := ctx.Err(); err != nil {
 				return out, err
 			}
+			if c.replayed(sweepURs, ns.Addr, target, qt) {
+				continue
+			}
 			issued++
 			attempted++
-			resp, err := c.client.Query(ctx, server, target, qt)
+			resp, wire, class, err := c.probeQuery(ctx, slot, seg, server, target, qt)
 			if err != nil {
 				fails = append(fails, probeFailure{
 					ns: ns, domain: target, qtype: qt,
-					class: dnsio.Classify(err), sweep: sweepURs,
+					class: class, sweep: sweepURs,
 				})
+				if seg != nil {
+					if jerr := seg.failure(sweepURs, ns.Addr, target, qt, class); jerr != nil {
+						return out, jerr
+					}
+				}
 				continue
 			}
 			answered++
+			if seg != nil {
+				if jerr := seg.answered(sweepURs, ns.Addr, target, qt, wire); jerr != nil {
+					return out, jerr
+				}
+			}
 			if resp.Header.RCode != dns.RCodeSuccess {
 				continue
 			}
@@ -496,32 +820,53 @@ func (c *Collector) probe(addr netip.Addr) websim.ProbeResult {
 // the geo-distributed correct-record collection of §4.1(2).
 func (c *Collector) CollectCorrect(ctx context.Context) (*CorrectDB, error) {
 	db := NewCorrectDB()
+	c.replaySweep(sweepCorrect, func(_ NameserverInfo, domain dns.Name, _ dns.Type, resp *dns.Message) {
+		c.addCorrectAnswers(db, domain, resp)
+	})
+	c.wd.start()
+	defer c.wd.stop()
+
 	jobs := make(chan netip.Addr)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var stop atomic.Bool
 
 	workers := c.cfg.parallelism()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot *stallSlot) {
 			defer wg.Done()
+			seg, localErr := c.newSegment()
+			if seg != nil {
+				defer c.releaseSegment(seg)
+			}
+			if localErr != nil {
+				stop.Store(true)
+			}
 			for resolver := range jobs {
-				if err := c.collectCorrectVia(ctx, db, resolver); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+				if localErr != nil {
+					continue // keep draining so the feeder never blocks
+				}
+				if err := c.collectCorrectVia(ctx, db, resolver, seg, slot); err != nil {
+					localErr = err
+					stop.Store(true)
 				}
 			}
-		}()
+			if localErr != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = localErr
+				}
+				mu.Unlock()
+			}
+		}(c.wd.slot(w))
 	}
-	for _, r := range c.cfg.OpenResolvers {
-		jobs <- r
-	}
-	close(jobs)
+	feed(ctx, jobs, &stop, c.cfg.OpenResolvers)
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -534,7 +879,7 @@ func (c *Collector) CollectCorrect(ctx context.Context) (*CorrectDB, error) {
 	return db, nil
 }
 
-func (c *Collector) collectCorrectVia(ctx context.Context, db *CorrectDB, resolver netip.Addr) error {
+func (c *Collector) collectCorrectVia(ctx context.Context, db *CorrectDB, resolver netip.Addr, seg *segmentWriter, slot *stallSlot) error {
 	server := netip.AddrPortFrom(resolver, dnsio.DNSPort)
 	ns := NameserverInfo{Addr: resolver}
 	var issued, attempted, answered int64
@@ -548,17 +893,30 @@ func (c *Collector) collectCorrectVia(ctx context.Context, db *CorrectDB, resolv
 			if err := ctx.Err(); err != nil {
 				return err
 			}
+			if c.replayed(sweepCorrect, resolver, target, qt) {
+				continue
+			}
 			issued++
 			attempted++
-			resp, err := c.client.Query(ctx, server, target, qt)
+			resp, wire, class, err := c.probeQuery(ctx, slot, seg, server, target, qt)
 			if err != nil {
 				fails = append(fails, probeFailure{
 					ns: ns, domain: target, qtype: qt,
-					class: dnsio.Classify(err), sweep: sweepCorrect,
+					class: class, sweep: sweepCorrect,
 				})
+				if seg != nil {
+					if jerr := seg.failure(sweepCorrect, resolver, target, qt, class); jerr != nil {
+						return jerr
+					}
+				}
 				continue
 			}
 			answered++
+			if seg != nil {
+				if jerr := seg.answered(sweepCorrect, resolver, target, qt, wire); jerr != nil {
+					return jerr
+				}
+			}
 			c.addCorrectAnswers(db, target, resp)
 		}
 	}
@@ -610,32 +968,53 @@ func (c *Config) CanaryName() dns.Name {
 func (c *Collector) CollectProtective(ctx context.Context) (*ProtectiveDB, error) {
 	db := NewProtectiveDB()
 	canary := c.cfg.CanaryName()
+	c.replaySweep(sweepProtective, func(ns NameserverInfo, _ dns.Name, qt dns.Type, resp *dns.Message) {
+		addProtectiveAnswers(db, ns.Addr, qt, resp)
+	})
+	c.wd.start()
+	defer c.wd.stop()
+
 	jobs := make(chan NameserverInfo)
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var firstErr error
+	var stop atomic.Bool
 
 	workers := c.cfg.parallelism()
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(slot *stallSlot) {
 			defer wg.Done()
+			seg, localErr := c.newSegment()
+			if seg != nil {
+				defer c.releaseSegment(seg)
+			}
+			if localErr != nil {
+				stop.Store(true)
+			}
 			for ns := range jobs {
-				if err := c.collectProtectiveFrom(ctx, db, ns, canary); err != nil {
-					mu.Lock()
-					if firstErr == nil {
-						firstErr = err
-					}
-					mu.Unlock()
+				if localErr != nil {
+					continue // keep draining so the feeder never blocks
+				}
+				if err := c.collectProtectiveFrom(ctx, db, ns, canary, seg, slot); err != nil {
+					localErr = err
+					stop.Store(true)
 				}
 			}
-		}()
+			if localErr != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = localErr
+				}
+				mu.Unlock()
+			}
+		}(c.wd.slot(w))
 	}
-	for _, ns := range c.cfg.Nameservers {
-		jobs <- ns
-	}
-	close(jobs)
+	feed(ctx, jobs, &stop, c.cfg.Nameservers)
 	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
 	if firstErr != nil {
 		return nil, firstErr
 	}
@@ -648,7 +1027,7 @@ func (c *Collector) CollectProtective(ctx context.Context) (*ProtectiveDB, error
 	return db, nil
 }
 
-func (c *Collector) collectProtectiveFrom(ctx context.Context, db *ProtectiveDB, ns NameserverInfo, canary dns.Name) error {
+func (c *Collector) collectProtectiveFrom(ctx context.Context, db *ProtectiveDB, ns NameserverInfo, canary dns.Name, seg *segmentWriter, slot *stallSlot) error {
 	server := netip.AddrPortFrom(ns.Addr, dnsio.DNSPort)
 	var issued, attempted, answered int64
 	var fails []probeFailure
@@ -660,17 +1039,30 @@ func (c *Collector) collectProtectiveFrom(ctx context.Context, db *ProtectiveDB,
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		if c.replayed(sweepProtective, ns.Addr, canary, qt) {
+			continue
+		}
 		issued++
 		attempted++
-		resp, err := c.client.Query(ctx, server, canary, qt)
+		resp, wire, class, err := c.probeQuery(ctx, slot, seg, server, canary, qt)
 		if err != nil {
 			fails = append(fails, probeFailure{
 				ns: ns, domain: canary, qtype: qt,
-				class: dnsio.Classify(err), sweep: sweepProtective,
+				class: class, sweep: sweepProtective,
 			})
+			if seg != nil {
+				if jerr := seg.failure(sweepProtective, ns.Addr, canary, qt, class); jerr != nil {
+					return jerr
+				}
+			}
 			continue
 		}
 		answered++
+		if seg != nil {
+			if jerr := seg.answered(sweepProtective, ns.Addr, canary, qt, wire); jerr != nil {
+				return jerr
+			}
+		}
 		addProtectiveAnswers(db, ns.Addr, qt, resp)
 	}
 	return nil

@@ -79,6 +79,8 @@ type Coverage struct {
 	RetriedRecovered int64
 	// BreakerTrips is how many times any server's circuit breaker opened.
 	BreakerTrips int64
+	// Stalls is how many times the stall watchdog cancelled a wedged probe.
+	Stalls int64
 	// FailedByClass histograms the probes still unanswered after the
 	// re-queue pass, keyed by dnsio.FailClass name.
 	FailedByClass map[string]int64
@@ -119,6 +121,27 @@ func (c *Collector) bookSweep(server netip.Addr, attempted, answered int64, fail
 	sc.attempted += attempted
 	sc.answered += answered
 	s.failures = append(s.failures, fails...)
+	s.mu.Unlock()
+}
+
+// bookReplay books one server's journal-replayed tallies at resume. Replayed
+// probes were attempted (and possibly answered or recovered) in the
+// interrupted run; they re-enter the books exactly once here so a resumed
+// run's coverage accounts the full plan without double-counting.
+func (c *Collector) bookReplay(server netip.Addr, attempted, answered, recovered int64) {
+	if attempted == 0 {
+		return
+	}
+	s := c.covShardOf(server)
+	s.mu.Lock()
+	sc := s.per[server]
+	if sc == nil {
+		sc = &serverCov{}
+		s.per[server] = sc
+	}
+	sc.attempted += attempted
+	sc.answered += answered
+	sc.recovered += recovered
 	s.mu.Unlock()
 }
 
@@ -210,5 +233,6 @@ func (c *Collector) Coverage() *Coverage {
 	if c.client.Breakers != nil {
 		cov.BreakerTrips = c.client.Breakers.Trips()
 	}
+	cov.Stalls = c.wd.Stalls()
 	return cov
 }

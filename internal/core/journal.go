@@ -1,0 +1,643 @@
+// Sweep checkpoint journal: crash-safe, resumable collection.
+//
+// A paper-scale sweep is ~36M exchanges; treating it as all-or-nothing means
+// a crash, OOM, or operator Ctrl-C throws away every answered probe. The
+// journal gives the collector training-run durability: workers append
+// answered probes and failure-book entries to per-worker segment files as
+// they happen, flushing to the OS at checkpoint boundaries, and a resumed
+// run replays the journal before touching the network — already-answered
+// probes are folded back through the exact same code path the live sweep
+// uses, so the resumed report is byte-identical to an uninterrupted run at
+// any parallelism.
+//
+// Durability tiers: records buffer in memory between checkpoints (lost if
+// the process dies mid-interval); a checkpoint write()s them to the kernel,
+// which survives any process-level death — SIGKILL, OOM, panic — the
+// failure modes preemption actually produces. fsync, which additionally
+// survives kernel crash and power loss, is opt-in via SyncEvery because it
+// costs hundreds of microseconds per call; losing an unsynced tail never
+// breaks resume, it only re-queries the probes the tail covered (the CRC
+// framing below treats a ripped tail as absent, not as truth).
+//
+// On-disk layout (one directory per sweep):
+//
+//	manifest.json   {version, plan_hash, seed} — guards against resuming
+//	                the wrong sweep; the hash covers everything that defines
+//	                the probe plan (seed, targets, nameservers, resolvers,
+//	                query types) and deliberately excludes parallelism.
+//	seg-NNNNN.wal   append-only segments; each run's workers write fresh
+//	                segments numbered after every existing one, so old
+//	                segments are never reopened for writing.
+//
+// Segment framing: records batch into one frame per checkpoint flush —
+// [u32 length][u32 CRC-32C (Castagnoli) of the payload][records...], lengths
+// little-endian, the payload's final record a checkpoint marker carrying the
+// cumulative record count. Group framing (one CRC per flush, not per record)
+// is what keeps the journal's overhead invisible next to the sweep itself;
+// it costs nothing in durability because records only ever reach the file a
+// whole flush at a time. A hard kill can tear the tail of a segment
+// mid-frame; replay detects the torn frame via length/CRC and discards the
+// tail rather than trusting it — the probes it covered are simply
+// re-queried. Replay feeds the journaled response bytes back through
+// dns.Unpack, so the decoder is fuzzed (FuzzMessageUnpack) against exactly
+// this attacker-influenceable surface.
+package core
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"hash/fnv"
+	"io"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dns"
+	"repro/internal/dnsio"
+)
+
+// journal format constants.
+const (
+	journalVersion = 1
+	manifestName   = "manifest.json"
+	segmentPrefix  = "seg-"
+	segmentSuffix  = ".wal"
+	// frameHeader is the [u32 length][u32 CRC-32C] prefix of every frame.
+	frameHeader = 8
+	// maxJournalFrame bounds a frame's declared payload length; anything
+	// larger is corruption. A frame holds at most segBufHighwater of
+	// buffered records plus one in-flight record (a DNS response tops out
+	// at 64 KiB) and the checkpoint marker, far under this bound.
+	maxJournalFrame = 1 << 20
+	// defaultCheckpointEvery is the record interval between flush
+	// checkpoints when the caller does not choose one. At ~200 bytes per
+	// answered record a hard kill forfeits at most ~200 KiB of re-queries;
+	// a smaller interval buys little and pays a write() per interval.
+	defaultCheckpointEvery = 1024
+	// segBufHighwater flushes a segment writer early when its buffer
+	// reaches this size, whatever the record interval — CheckpointEvery can
+	// then be raised freely without unbounded buffering. Writers allocate
+	// this much up front so the append path never grows the buffer.
+	segBufHighwater = 128 << 10
+)
+
+// record types inside a segment.
+const (
+	recAnswered   byte = 1 // probe key + packed DNS response
+	recFailure    byte = 2 // probe key + failure class
+	recCheckpoint byte = 3 // cumulative record count, written at each flush
+)
+
+// crcTable is the Castagnoli polynomial — hardware-accelerated on amd64 and
+// arm64 even for the short frames the journal writes, where the IEEE
+// polynomial's carry-less-multiply path never amortises its setup.
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// probeKey identifies one (sweep, server, domain, qtype) probe — the unit of
+// skip-on-resume.
+type probeKey struct {
+	sweep  sweepKind
+	server netip.Addr
+	domain dns.Name
+	qtype  dns.Type
+}
+
+// replayState is the decoded journal: every answered probe with its packed
+// response, and every probe that was on the failure book when the run died.
+// A key present in both recovered via the re-queue pass (or failed first and
+// answered on resume); answered wins.
+type replayState struct {
+	answered map[probeKey][]byte
+	failed   map[probeKey]dnsio.FailClass
+	segments int
+	torn     int
+}
+
+// JournalOptions tunes a journal.
+type JournalOptions struct {
+	// CheckpointEvery is how many records a segment buffers in memory
+	// between flush checkpoints. Smaller loses less work to a hard kill;
+	// larger amortises the write cost. Zero selects the default (1024).
+	CheckpointEvery int
+	// SyncEvery, when positive, fsyncs a segment after every SyncEvery-th
+	// checkpoint (and at segment close), extending durability from
+	// process death to power loss. Zero — the default — never fsyncs:
+	// checkpointed records sit in the kernel page cache, which survives
+	// every process-level failure, and a torn post-crash tail is detected
+	// and re-queried rather than trusted.
+	SyncEvery int
+}
+
+func (o JournalOptions) checkpointEvery() int {
+	if o.CheckpointEvery <= 0 {
+		return defaultCheckpointEvery
+	}
+	return o.CheckpointEvery
+}
+
+// Journal is a sweep checkpoint directory: a manifest binding it to one
+// probe plan, plus append-only segments. One Journal serves one pipeline
+// run; workers obtain private segment writers so appends never contend.
+type Journal struct {
+	dir      string
+	opts     JournalOptions
+	planHash uint64
+
+	mu      sync.Mutex
+	nextSeg int
+	idle    []*segmentWriter // released writers parked for the next sweep
+
+	rs *replayState // nil on a fresh journal
+
+	appended atomic.Int64
+
+	// AppendHook, when set before the run starts, observes the global
+	// appended-record count after every data append. Tests use it to cancel
+	// a sweep at an exact journal position; production leaves it nil.
+	AppendHook func(total int64)
+}
+
+// manifest is the serialized journal identity.
+type manifest struct {
+	Version  int    `json:"version"`
+	PlanHash string `json:"plan_hash"`
+	Seed     int64  `json:"seed"`
+}
+
+// PlanHash fingerprints everything that defines the probe plan: the seed and
+// query types plus the target, nameserver, and resolver sets. Parallelism
+// and pacing are excluded on purpose — a sweep may be resumed with a
+// different worker count and must produce the same report.
+func (c *Config) PlanHash() uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "seed=%d\n", c.Seed)
+	for _, qt := range c.queryTypes() {
+		fmt.Fprintf(h, "qt=%d\n", uint16(qt))
+	}
+	for _, t := range c.Targets {
+		fmt.Fprintf(h, "target=%s\n", t)
+	}
+	for _, ns := range c.Nameservers {
+		fmt.Fprintf(h, "ns=%s|%s|%s\n", ns.Addr, ns.Host, ns.Provider)
+	}
+	for _, r := range c.OpenResolvers {
+		fmt.Fprintf(h, "resolver=%s\n", r)
+	}
+	return h.Sum64()
+}
+
+// OpenJournal opens (creating if needed) the checkpoint journal for one
+// sweep plan. If the directory already holds a journal, its manifest must
+// match the config's plan hash — resuming someone else's sweep would
+// silently skip the wrong probes — and every readable segment record is
+// replayed into memory; torn tails are detected and discarded.
+func OpenJournal(dir string, cfg *Config, opts JournalOptions) (*Journal, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: create dir: %w", err)
+	}
+	j := &Journal{dir: dir, opts: opts, planHash: cfg.PlanHash()}
+	mpath := filepath.Join(dir, manifestName)
+	data, err := os.ReadFile(mpath)
+	switch {
+	case err == nil:
+		var m manifest
+		if err := json.Unmarshal(data, &m); err != nil {
+			return nil, fmt.Errorf("journal: manifest unreadable: %w", err)
+		}
+		if m.Version != journalVersion {
+			return nil, fmt.Errorf("journal: manifest version %d, want %d", m.Version, journalVersion)
+		}
+		if m.PlanHash != fmt.Sprintf("%016x", j.planHash) {
+			return nil, fmt.Errorf("journal: directory %s belongs to a different sweep plan (manifest %s, config %016x)",
+				dir, m.PlanHash, j.planHash)
+		}
+		if err := j.replayDir(); err != nil {
+			return nil, err
+		}
+	case os.IsNotExist(err):
+		if err := j.writeManifest(mpath, cfg.Seed); err != nil {
+			return nil, err
+		}
+	default:
+		return nil, fmt.Errorf("journal: read manifest: %w", err)
+	}
+	return j, nil
+}
+
+// writeManifest creates the manifest atomically (temp file + rename) so a
+// kill during journal creation never leaves a half-written identity.
+func (j *Journal) writeManifest(path string, seed int64) error {
+	m := manifest{Version: journalVersion, PlanHash: fmt.Sprintf("%016x", j.planHash), Seed: seed}
+	data, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return err
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("journal: write manifest: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("journal: commit manifest: %w", err)
+	}
+	return nil
+}
+
+// replayDir decodes every segment in index order into the replay state and
+// positions the segment counter after the highest existing index.
+func (j *Journal) replayDir() error {
+	entries, err := os.ReadDir(j.dir)
+	if err != nil {
+		return fmt.Errorf("journal: scan dir: %w", err)
+	}
+	var segs []string
+	maxIdx := -1
+	for _, e := range entries {
+		name := e.Name()
+		if !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		segs = append(segs, name)
+		var idx int
+		if _, err := fmt.Sscanf(name, segmentPrefix+"%05d"+segmentSuffix, &idx); err == nil && idx > maxIdx {
+			maxIdx = idx
+		}
+	}
+	sort.Strings(segs)
+	j.nextSeg = maxIdx + 1
+	rs := &replayState{
+		answered: make(map[probeKey][]byte),
+		failed:   make(map[probeKey]dnsio.FailClass),
+	}
+	for _, name := range segs {
+		if err := readSegment(filepath.Join(j.dir, name), rs); err != nil {
+			return err
+		}
+		rs.segments++
+	}
+	j.rs = rs
+	return nil
+}
+
+// Resumed reports whether the journal carried prior state when opened.
+func (j *Journal) Resumed() bool { return j.rs != nil }
+
+// ReplayedAnswered returns how many distinct answered probes were restored
+// from the journal.
+func (j *Journal) ReplayedAnswered() int {
+	if j.rs == nil {
+		return 0
+	}
+	return len(j.rs.answered)
+}
+
+// ReplayedFailures returns how many distinct probes were restored onto the
+// failure book (answered probes with an older failure record not counted).
+func (j *Journal) ReplayedFailures() int {
+	if j.rs == nil {
+		return 0
+	}
+	n := 0
+	for k := range j.rs.failed {
+		if _, ok := j.rs.answered[k]; !ok {
+			n++
+		}
+	}
+	return n
+}
+
+// TornSegments returns how many segments ended in a torn or corrupt tail
+// that replay discarded.
+func (j *Journal) TornSegments() int {
+	if j.rs == nil {
+		return 0
+	}
+	return j.rs.torn
+}
+
+// Appended returns how many data records this process has appended.
+func (j *Journal) Appended() int64 { return j.appended.Load() }
+
+// Close finishes the journal: parked segment writers are flushed and their
+// files closed, and with SyncEvery enabled the directory entry is synced so
+// freshly created segments survive a power loss.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	idle := j.idle
+	j.idle = nil
+	j.mu.Unlock()
+	var firstErr error
+	for _, s := range idle {
+		if err := s.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	if j.opts.SyncEvery <= 0 {
+		return firstErr
+	}
+	d, err := os.Open(j.dir)
+	if err != nil {
+		if firstErr == nil {
+			firstErr = err
+		}
+		return firstErr
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if firstErr == nil {
+		firstErr = serr
+	}
+	if firstErr == nil {
+		firstErr = cerr
+	}
+	return firstErr
+}
+
+// newSegment opens the next append-only segment file. Each concurrent
+// writer gets its own, so journal appends never serialize the pool.
+func (j *Journal) newSegment() (*segmentWriter, error) {
+	j.mu.Lock()
+	idx := j.nextSeg
+	j.nextSeg++
+	j.mu.Unlock()
+	path := filepath.Join(j.dir, fmt.Sprintf("%s%05d%s", segmentPrefix, idx, segmentSuffix))
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: create segment: %w", err)
+	}
+	return &segmentWriter{
+		j: j, f: f,
+		every: j.opts.checkpointEvery(),
+		buf:   make([]byte, frameHeader, segBufHighwater+(4<<10)),
+	}, nil
+}
+
+// acquireSegment hands a worker a segment writer: a parked one from an
+// earlier sweep when available (appends just continue in the same file),
+// else a freshly created segment. Pooling matters because every sweep of
+// every run would otherwise pay a file create per worker.
+func (j *Journal) acquireSegment() (*segmentWriter, error) {
+	j.mu.Lock()
+	if n := len(j.idle); n > 0 {
+		s := j.idle[n-1]
+		j.idle = j.idle[:n-1]
+		j.mu.Unlock()
+		return s, nil
+	}
+	j.mu.Unlock()
+	return j.newSegment()
+}
+
+// releaseSegment flushes a writer's pending records — the graceful-drain
+// guarantee at the end of each sweep — and parks it for the next acquirer.
+// The file stays open; Journal.Close closes parked writers.
+func (j *Journal) releaseSegment(s *segmentWriter) error {
+	var err error
+	if s.pending > 0 {
+		err = s.checkpoint()
+	}
+	j.mu.Lock()
+	j.idle = append(j.idle, s)
+	j.mu.Unlock()
+	return err
+}
+
+// segmentWriter appends records to one segment file, buffering up to
+// CheckpointEvery records (or segBufHighwater bytes) into the frame that the
+// next checkpoint seals and flushes. Not safe for concurrent use — every
+// worker owns its segment exclusively.
+type segmentWriter struct {
+	j       *Journal
+	f       *os.File
+	every   int    // checkpoint interval, cached off the journal options
+	buf     []byte // frame under construction: reserved header + records
+	pending int    // records in buf
+	count   uint64 // data records written to this segment overall
+	ckpts   int    // checkpoints written, for the SyncEvery cadence
+}
+
+// appendData counts one freshly appended data record and checkpoints at the
+// configured interval.
+func (s *segmentWriter) appendData() error {
+	s.count++
+	s.pending++
+	total := s.j.appended.Add(1)
+	if hook := s.j.AppendHook; hook != nil {
+		hook(total)
+	}
+	if s.pending >= s.every || len(s.buf) >= segBufHighwater {
+		return s.checkpoint()
+	}
+	return nil
+}
+
+// checkpoint seals the pending records plus a cumulative-count marker into
+// one CRC frame and flushes it to the kernel, making everything up to here
+// survive process death. On the SyncEvery cadence (when enabled) it also
+// fsyncs for power-loss durability.
+func (s *segmentWriter) checkpoint() error {
+	s.buf = append(s.buf, recCheckpoint)
+	s.buf = binary.LittleEndian.AppendUint64(s.buf, s.count)
+	payload := s.buf[frameHeader:]
+	binary.LittleEndian.PutUint32(s.buf[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(s.buf[4:8], crc32.Checksum(payload, crcTable))
+	if _, err := s.f.Write(s.buf); err != nil {
+		return fmt.Errorf("journal: segment write: %w", err)
+	}
+	s.buf = s.buf[:frameHeader]
+	s.pending = 0
+	s.ckpts++
+	if se := s.j.opts.SyncEvery; se > 0 && s.ckpts%se == 0 {
+		if err := s.f.Sync(); err != nil {
+			return fmt.Errorf("journal: segment sync: %w", err)
+		}
+	}
+	return nil
+}
+
+// Close checkpoints any pending records and closes the file — the graceful-
+// drain flush every worker performs on its way out. With SyncEvery enabled
+// the segment is fsynced so a finished sweep's records are power-loss safe.
+func (s *segmentWriter) Close() error {
+	var err error
+	if s.pending > 0 {
+		err = s.checkpoint()
+	}
+	if s.j.opts.SyncEvery > 0 {
+		if serr := s.f.Sync(); err == nil && serr != nil {
+			err = fmt.Errorf("journal: segment sync: %w", serr)
+		}
+	}
+	if cerr := s.f.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// keyPayload builds the shared (type, sweep, server, domain, qtype) prefix.
+func keyPayload(dst []byte, rec byte, kind sweepKind, server netip.Addr, domain dns.Name, qt dns.Type) []byte {
+	dst = append(dst, rec, byte(kind))
+	// Encode the address from its value form: AsSlice would heap-allocate
+	// per record, and this prefix is written tens of millions of times.
+	if server.Is4() {
+		a := server.As4()
+		dst = append(dst, 4)
+		dst = append(dst, a[:]...)
+	} else {
+		a := server.As16()
+		dst = append(dst, 16)
+		dst = append(dst, a[:]...)
+	}
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(len(domain)))
+	dst = append(dst, domain...)
+	dst = binary.LittleEndian.AppendUint16(dst, uint16(qt))
+	return dst
+}
+
+// answered journals one answered probe with the response's wire bytes
+// exactly as the server sent them (no re-pack — at 36M records the pack cost
+// would dwarf the copy); replay feeds them back through the validated
+// decoder, the same bytes the live sweep decoded.
+func (s *segmentWriter) answered(kind sweepKind, server netip.Addr, domain dns.Name, qt dns.Type, wire []byte) error {
+	s.buf = keyPayload(s.buf, recAnswered, kind, server, domain, qt)
+	s.buf = binary.LittleEndian.AppendUint32(s.buf, uint32(len(wire)))
+	s.buf = append(s.buf, wire...)
+	return s.appendData()
+}
+
+// failure journals one failure-book entry.
+func (s *segmentWriter) failure(kind sweepKind, server netip.Addr, domain dns.Name, qt dns.Type, class dnsio.FailClass) error {
+	s.buf = keyPayload(s.buf, recFailure, kind, server, domain, qt)
+	s.buf = append(s.buf, byte(class))
+	return s.appendData()
+}
+
+// errTornTail marks the first undecodable frame of a segment; replay treats
+// everything from there on as a torn write and discards it.
+var errTornTail = errors.New("journal: torn segment tail")
+
+// readSegment folds one segment's records into the replay state. Corruption
+// — a short frame, a CRC mismatch, a record that fails to decode, or a
+// checkpoint marker whose count disagrees — truncates the replay at that
+// point: the tail is counted torn and ignored, never trusted.
+func readSegment(path string, rs *replayState) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return fmt.Errorf("journal: open segment: %w", err)
+	}
+	defer f.Close()
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return fmt.Errorf("journal: read segment: %w", err)
+	}
+	var count uint64
+	off := 0
+	torn := func() {
+		rs.torn++
+	}
+	for off < len(data) {
+		if len(data)-off < frameHeader {
+			torn()
+			return nil
+		}
+		length := binary.LittleEndian.Uint32(data[off : off+4])
+		sum := binary.LittleEndian.Uint32(data[off+4 : off+8])
+		if length > maxJournalFrame || len(data)-off-frameHeader < int(length) {
+			torn()
+			return nil
+		}
+		payload := data[off+frameHeader : off+frameHeader+int(length)]
+		if crc32.Checksum(payload, crcTable) != sum {
+			torn()
+			return nil
+		}
+		off += frameHeader + int(length)
+		if err := decodeFrame(payload, rs, &count); err != nil {
+			torn()
+			return nil
+		}
+	}
+	return nil
+}
+
+// decodeFrame folds one CRC-verified frame's records into the replay state.
+// A frame carries a whole checkpoint interval: data records back to back,
+// then the checkpoint marker whose cumulative count must agree with the
+// records decoded so far — a cheap structural check on top of the CRC.
+func decodeFrame(p []byte, rs *replayState, count *uint64) error {
+	for len(p) > 0 {
+		switch p[0] {
+		case recCheckpoint:
+			if len(p) < 9 {
+				return errTornTail
+			}
+			if binary.LittleEndian.Uint64(p[1:9]) != *count {
+				return errTornTail
+			}
+			p = p[9:]
+		case recAnswered, recFailure:
+			rec := p[0]
+			p = p[1:]
+			if len(p) < 2 {
+				return errTornTail
+			}
+			kind := sweepKind(p[0])
+			alen := int(p[1])
+			p = p[2:]
+			if alen != 4 && alen != 16 || len(p) < alen {
+				return errTornTail
+			}
+			addr, ok := netip.AddrFromSlice(p[:alen])
+			if !ok {
+				return errTornTail
+			}
+			p = p[alen:]
+			if len(p) < 2 {
+				return errTornTail
+			}
+			dlen := int(binary.LittleEndian.Uint16(p[0:2]))
+			p = p[2:]
+			if len(p) < dlen+2 {
+				return errTornTail
+			}
+			domain := dns.Name(p[:dlen])
+			p = p[dlen:]
+			qt := dns.Type(binary.LittleEndian.Uint16(p[0:2]))
+			p = p[2:]
+			key := probeKey{sweep: kind, server: addr, domain: domain, qtype: qt}
+			if rec == recFailure {
+				if len(p) < 1 {
+					return errTornTail
+				}
+				rs.failed[key] = dnsio.FailClass(p[0])
+				p = p[1:]
+				*count++
+				continue
+			}
+			if len(p) < 4 {
+				return errTornTail
+			}
+			rlen := int(binary.LittleEndian.Uint32(p[0:4]))
+			p = p[4:]
+			if rlen < 0 || len(p) < rlen {
+				return errTornTail
+			}
+			if _, have := rs.answered[key]; !have {
+				resp := make([]byte, rlen)
+				copy(resp, p[:rlen])
+				rs.answered[key] = resp
+			}
+			p = p[rlen:]
+			*count++
+		default:
+			return errTornTail
+		}
+	}
+	return nil
+}

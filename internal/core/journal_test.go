@@ -1,0 +1,272 @@
+package core
+
+import (
+	"net/netip"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/dns"
+	"repro/internal/dnsio"
+)
+
+// journalTestConfig is a minimal plan for journal-only tests (no fabric).
+func journalTestConfig(seed int64) *Config {
+	return &Config{
+		Seed:    seed,
+		Targets: []dns.Name{"a.example", "b.example"},
+		Nameservers: []NameserverInfo{
+			{Addr: netip.MustParseAddr("10.9.0.1"), Host: "ns1.test", Provider: "P0"},
+		},
+		OpenResolvers: []netip.Addr{netip.MustParseAddr("10.9.1.1")},
+	}
+}
+
+// testResponse builds a NOERROR answer for one (name, type) probe in the
+// wire form the journal records.
+func testResponse(name dns.Name, qt dns.Type, rdata string) []byte {
+	q := dns.NewQuery(7, name, qt)
+	r := q.Reply()
+	r.Answers = append(r.Answers, dns.RR{
+		Name: name, Class: dns.ClassINET, TTL: 300,
+		Data: &dns.A{Addr: netip.MustParseAddr(rdata)},
+	})
+	wire, err := r.Pack()
+	if err != nil {
+		panic(err)
+	}
+	return wire
+}
+
+func TestJournalRoundtrip(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalTestConfig(1)
+	j, err := OpenJournal(dir, cfg, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Resumed() {
+		t.Fatal("fresh journal claims to be resumed")
+	}
+	server := cfg.Nameservers[0].Addr
+	seg, err := j.newSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp := testResponse("a.example", dns.TypeA, "203.0.113.1")
+	if err := seg.answered(sweepURs, server, "a.example", dns.TypeA, resp); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.failure(sweepURs, server, "b.example", dns.TypeTXT, dnsio.FailTimeout); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.answered(sweepProtective, server, "canary.test", dns.TypeA,
+		testResponse("canary.test", dns.TypeA, "203.0.113.9")); err != nil {
+		t.Fatal(err)
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := j.Appended(); got != 3 {
+		t.Errorf("Appended = %d, want 3", got)
+	}
+
+	j2, err := OpenJournal(dir, cfg, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j2.Resumed() {
+		t.Fatal("reopened journal not resumed")
+	}
+	if got := j2.ReplayedAnswered(); got != 2 {
+		t.Errorf("ReplayedAnswered = %d, want 2", got)
+	}
+	if got := j2.ReplayedFailures(); got != 1 {
+		t.Errorf("ReplayedFailures = %d, want 1", got)
+	}
+	if got := j2.TornSegments(); got != 0 {
+		t.Errorf("TornSegments = %d, want 0", got)
+	}
+	key := probeKey{sweep: sweepURs, server: server, domain: "a.example", qtype: dns.TypeA}
+	raw, ok := j2.rs.answered[key]
+	if !ok {
+		t.Fatal("answered record missing after replay")
+	}
+	dec, err := dns.Unpack(raw)
+	if err != nil {
+		t.Fatalf("journaled response failed to unpack: %v", err)
+	}
+	if len(dec.Answers) != 1 || dec.Answers[0].Data.String() != "203.0.113.1" {
+		t.Errorf("replayed response corrupted: %+v", dec.Answers)
+	}
+	fkey := probeKey{sweep: sweepURs, server: server, domain: "b.example", qtype: dns.TypeTXT}
+	if class, ok := j2.rs.failed[fkey]; !ok || class != dnsio.FailTimeout {
+		t.Errorf("failure record = (%v, %v), want (timeout, true)", class, ok)
+	}
+	// New segments must number past the replayed ones.
+	seg2, err := j2.newSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seg2.Close()
+	if _, err := os.Stat(filepath.Join(dir, "seg-00001.wal")); err != nil {
+		t.Errorf("resumed journal did not continue segment numbering: %v", err)
+	}
+}
+
+func TestJournalPlanMismatchRefused(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(dir, journalTestConfig(1), JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+	if _, err := OpenJournal(dir, journalTestConfig(2), JournalOptions{}); err == nil {
+		t.Fatal("journal accepted a different sweep plan")
+	}
+}
+
+// TestJournalTornTailDiscarded simulates a hard kill tearing the segment tail:
+// the bytes after the last intact frame are garbage, and replay must keep the
+// frames before the tear while discarding — never trusting — the torn one.
+func TestJournalTornTailDiscarded(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalTestConfig(1)
+	j, err := OpenJournal(dir, cfg, JournalOptions{CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := cfg.Nameservers[0].Addr
+	seg, err := j.newSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two checkpoint frames of two records each.
+	for i, name := range []dns.Name{"a.example", "b.example", "c.example", "d.example"} {
+		if err := seg.answered(sweepURs, server, name, dns.TypeA,
+			testResponse(name, dns.TypeA, netip.AddrFrom4([4]byte{203, 0, 113, byte(i + 1)}).String())); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := seg.Close(); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "seg-00000.wal")
+	info, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear off the last 5 bytes — mid-frame, so the second frame no longer
+	// verifies; the first frame's two records must survive.
+	if err := os.Truncate(path, info.Size()-5); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(dir, cfg, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.TornSegments(); got != 1 {
+		t.Errorf("TornSegments = %d, want 1", got)
+	}
+	if got := j2.ReplayedAnswered(); got != 2 {
+		t.Errorf("intact records lost to the torn tail: replayed %d, want 2", got)
+	}
+
+	// Corrupt a payload byte inside the first frame: CRC must catch it and
+	// replay must trust nothing from that segment from there on.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[10] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j3, err := OpenJournal(dir, cfg, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j3.ReplayedAnswered(); got != 0 {
+		t.Errorf("CRC-corrupt segment still replayed %d records", got)
+	}
+	if got := j3.TornSegments(); got != 1 {
+		t.Errorf("TornSegments = %d, want 1", got)
+	}
+}
+
+// TestJournalCheckpointDurability models a hard kill (no Close): only records
+// flushed at checkpoint boundaries survive, and they replay cleanly — the
+// unflushed tail simply never reached the file.
+func TestJournalCheckpointDurability(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalTestConfig(1)
+	j, err := OpenJournal(dir, cfg, JournalOptions{CheckpointEvery: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := cfg.Nameservers[0].Addr
+	seg, err := j.newSegment()
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []dns.Name{"a.example", "b.example", "c.example", "d.example", "e.example"}
+	for i, name := range names {
+		resp := testResponse(name, dns.TypeA, netip.AddrFrom4([4]byte{203, 0, 113, byte(i + 1)}).String())
+		if err := seg.answered(sweepURs, server, name, dns.TypeA, resp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No Close: the 5th record is still buffered; checkpoints fired at 2 and 4.
+	j2, err := OpenJournal(dir, cfg, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := j2.ReplayedAnswered(); got != 4 {
+		t.Errorf("ReplayedAnswered = %d, want 4 (two checkpoints of 2)", got)
+	}
+	if got := j2.TornSegments(); got != 0 {
+		t.Errorf("TornSegments = %d, want 0 — flushed prefix must be clean", got)
+	}
+	seg.f.Close()
+}
+
+// TestJournalAnsweredFirstWins pins the replay merge rule: when the same probe
+// key appears in multiple segments (main sweep in one run, re-queue in a
+// later one), the first record in segment order is kept.
+func TestJournalAnsweredFirstWins(t *testing.T) {
+	dir := t.TempDir()
+	cfg := journalTestConfig(1)
+	j, err := OpenJournal(dir, cfg, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	server := cfg.Nameservers[0].Addr
+	for _, rdata := range []string{"203.0.113.1", "203.0.113.2"} {
+		seg, err := j.newSegment()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := seg.answered(sweepURs, server, "a.example", dns.TypeA,
+			testResponse("a.example", dns.TypeA, rdata)); err != nil {
+			t.Fatal(err)
+		}
+		if err := seg.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	j2, err := OpenJournal(dir, cfg, JournalOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := probeKey{sweep: sweepURs, server: server, domain: "a.example", qtype: dns.TypeA}
+	resp, err := dns.Unpack(j2.rs.answered[key])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := resp.Answers[0].Data.String(); got != "203.0.113.1" {
+		t.Errorf("duplicate key resolved to %q, want the first segment's record", got)
+	}
+}

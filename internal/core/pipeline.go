@@ -48,19 +48,31 @@ func NewPipeline(cfg *Config) *Pipeline {
 // Collector exposes the collection component.
 func (p *Pipeline) Collector() *Collector { return p.collector }
 
-// Run executes collection, determination, and analysis.
+// partial snapshots what the collector managed before a sweep failed, so a
+// cancelled or crashed run still reports its query and coverage books (the
+// caller prints them alongside the error, and a journal holds the rest).
+func (p *Pipeline) partial() *Result {
+	return &Result{
+		Queries:  p.collector.Queries(),
+		Coverage: p.collector.Coverage(),
+	}
+}
+
+// Run executes collection, determination, and analysis. On error — including
+// context cancellation mid-sweep — the returned Result is non-nil and carries
+// the partial query/coverage books accumulated before the interruption.
 func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	correct, err := p.collector.CollectCorrect(ctx)
 	if err != nil {
-		return nil, err
+		return p.partial(), err
 	}
 	protective, err := p.collector.CollectProtective(ctx)
 	if err != nil {
-		return nil, err
+		return p.partial(), err
 	}
 	urs, err := p.collector.CollectURs(ctx)
 	if err != nil {
-		return nil, err
+		return p.partial(), err
 	}
 
 	if p.Determiner == nil {

@@ -121,9 +121,27 @@ func (c *Client) Query(ctx context.Context, server netip.AddrPort, name dns.Name
 	q.Header = dns.Header{ID: c.nextID(), RecursionDesired: true}
 	q.Questions = append(q.Questions[:0], dns.Question{Name: name, Type: t, Class: dns.ClassINET})
 	q.Answers, q.Authority, q.Additional = q.Answers[:0], q.Authority[:0], q.Additional[:0]
-	resp, err := c.Exchange(ctx, server, q)
+	resp, _, err := c.exchange(ctx, server, q)
 	queryPool.Put(q)
 	return resp, err
+}
+
+// QueryWire is Query plus the validated response's wire bytes — the exact
+// form the server sent them, so a caller that will journal the answer avoids
+// re-packing it (and, at 36M probes a sweep, re-copying it). The returned
+// slice is only guaranteed until this client's next exchange on the same
+// goroutine; callers that keep it longer must copy.
+func (c *Client) QueryWire(ctx context.Context, server netip.AddrPort, name dns.Name, t dns.Type) (*dns.Message, []byte, error) {
+	q := queryPool.Get().(*dns.Message)
+	q.Header = dns.Header{ID: c.nextID(), RecursionDesired: true}
+	q.Questions = append(q.Questions[:0], dns.Question{Name: name, Type: t, Class: dns.ClassINET})
+	q.Answers, q.Authority, q.Additional = q.Answers[:0], q.Authority[:0], q.Additional[:0]
+	resp, raw, err := c.exchange(ctx, server, q)
+	queryPool.Put(q)
+	if err != nil {
+		return nil, nil, err
+	}
+	return resp, raw, nil
 }
 
 // packBufPool recycles query wire buffers across Exchange calls; transports
@@ -137,6 +155,14 @@ var packBufPool = sync.Pool{New: func() any {
 // Exchange sends a prepared query. If the UDP response has TC set, the query
 // is retried over TCP, mirroring standard resolver behaviour.
 func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Message) (*dns.Message, error) {
+	resp, _, err := c.exchange(ctx, server, q)
+	return resp, err
+}
+
+// exchange is Exchange returning the accepted response's wire bytes as well.
+// The returned slice is only valid until the transport's next exchange —
+// callers that keep it (QueryWire) must copy.
+func (c *Client) exchange(ctx context.Context, server netip.AddrPort, q *dns.Message) (*dns.Message, []byte, error) {
 	if q.Header.ID == 0 {
 		q.Header.ID = c.nextID()
 	}
@@ -144,7 +170,7 @@ func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Mes
 	packed, err := q.AppendPack((*bp)[:0])
 	if err != nil {
 		packBufPool.Put(bp)
-		return nil, fmt.Errorf("dnsio: pack query: %w", err)
+		return nil, nil, fmt.Errorf("dnsio: pack query: %w", err)
 	}
 	*bp = packed // keep any grown capacity for the next user
 	defer packBufPool.Put(bp)
@@ -161,7 +187,7 @@ func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Mes
 	if c.Breakers != nil {
 		br = c.Breakers.forAddr(server.Addr())
 		if !br.allow(c.Breakers.cfg) {
-			return nil, fmt.Errorf("dnsio: exchange with %s failed: %w", server, ErrCircuitOpen)
+			return nil, nil, fmt.Errorf("dnsio: exchange with %s failed: %w", server, ErrCircuitOpen)
 		}
 	}
 	// Retries < 0 must still attempt once: an empty attempt loop would
@@ -176,7 +202,7 @@ func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Mes
 			if br != nil && lastErr != nil {
 				br.report(c.Breakers, false)
 			}
-			return nil, err
+			return nil, nil, err
 		}
 		if attempt > 0 {
 			if err := c.sleep(ctx, c.Backoff.Delay(server, attempt)); err != nil {
@@ -213,7 +239,7 @@ func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Mes
 		if br != nil {
 			br.report(c.Breakers, true)
 		}
-		return resp, nil
+		return resp, raw, nil
 	}
 	if br != nil {
 		br.report(c.Breakers, false)
@@ -221,7 +247,7 @@ func (c *Client) Exchange(ctx context.Context, server netip.AddrPort, q *dns.Mes
 	if lastErr == nil {
 		lastErr = errors.New("no attempt completed")
 	}
-	return nil, fmt.Errorf("dnsio: exchange with %s failed: %w", server, lastErr)
+	return nil, nil, fmt.Errorf("dnsio: exchange with %s failed: %w", server, lastErr)
 }
 
 func (c *Client) validate(q *dns.Message, raw []byte) (*dns.Message, error) {
@@ -343,6 +369,11 @@ func isInstant(t Transport) bool {
 	it, ok := t.(instantTransport)
 	return ok && it.Instant()
 }
+
+// IsInstant reports whether a transport completes exchanges synchronously,
+// never blocking on real I/O (the in-memory fabric). Callers use it to skip
+// stall-detection machinery that only matters on real sockets.
+func IsInstant(t Transport) bool { return isInstant(t) }
 
 // SimTransport is a Transport over the fabric.
 type SimTransport struct {

@@ -1,0 +1,36 @@
+package zone
+
+import (
+	"testing"
+)
+
+// FuzzZoneParse drives the master-file parser with arbitrary text — the
+// operator-supplied input every simulated authority loads. The parser must
+// never panic, and any zone it accepts must serialize and re-parse to the
+// same record count (the Serialize/Parse closure the world generator relies
+// on).
+func FuzzZoneParse(f *testing.F) {
+	f.Add("@ 300 IN A 192.0.2.1\nwww 300 IN CNAME @\n")
+	f.Add("$ORIGIN sub.example.com\n$TTL 600\nhost IN A 198.51.100.7\n")
+	f.Add("; comment only\n\n")
+	f.Add("@ 60 IN TXT \"v=spf1 -all\"\n")
+	f.Add("* 300 IN A 203.0.113.5\n")
+	f.Add("$ORIGIN\n")
+	f.Add("@ 4294967296 IN A 192.0.2.1\n")
+	f.Add("a..b 300 IN A 192.0.2.1\n")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		z, err := Parse("example.com", text)
+		if err != nil {
+			return
+		}
+		out := z.Serialize()
+		z2, err := Parse("example.com", out)
+		if err != nil {
+			t.Fatalf("serialized zone failed to re-parse: %v\ntext: %q", err, out)
+		}
+		if z.Size() != z2.Size() {
+			t.Fatalf("round trip changed record count: %d -> %d\ntext: %q", z.Size(), z2.Size(), out)
+		}
+	})
+}

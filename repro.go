@@ -31,6 +31,9 @@ type World = scenario.World
 // Result is a URHunter run's classified output.
 type Result = core.Result
 
+// Pipeline chains the three URHunter components; see NewPipeline.
+type Pipeline = core.Pipeline
+
 // UR is one undelegated record with enrichment and classification.
 type UR = core.UR
 
@@ -68,4 +71,26 @@ func RunURHunter(ctx context.Context, w *World) (*Result, error) {
 // (the Appendix B ablation) or need the false-negative check.
 func NewPipeline(w *World) *core.Pipeline {
 	return core.NewPipeline(w.URHunterConfig())
+}
+
+// Journal is a sweep checkpoint store: per-worker append-only segment files
+// plus a manifest binding them to one (seed, plan) identity.
+type Journal = core.Journal
+
+// JournalOptions tunes checkpointing (flush-to-disk frequency).
+type JournalOptions = core.JournalOptions
+
+// NewJournaledPipeline builds a pipeline whose sweeps checkpoint into dir.
+// If dir already holds a journal for the same world seed and query plan, the
+// prior run's answered probes are replayed instead of re-queried and the
+// resumed run's report is byte-identical to an uninterrupted one. Close the
+// returned Journal after the run.
+func NewJournaledPipeline(w *World, dir string, opts JournalOptions) (*core.Pipeline, *Journal, error) {
+	cfg := w.URHunterConfig()
+	j, err := core.OpenJournal(dir, cfg, opts)
+	if err != nil {
+		return nil, nil, err
+	}
+	cfg.Journal = j
+	return core.NewPipeline(cfg), j, nil
 }
