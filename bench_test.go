@@ -9,6 +9,7 @@ package repro
 import (
 	"context"
 	"net/netip"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -208,6 +209,51 @@ func BenchmarkDeterminerConditions(b *testing.B) {
 	b.Run("subset-only", func(b *testing.B) {
 		run(b, func(d *core.Determiner) { d.UsePDNS = false; d.UseHTTPFilter = false })
 	})
+}
+
+// BenchmarkDetermineParallel measures the sharded §4.2 classification pass —
+// per-shard memo caches over interned strings — at GOMAXPROCS workers.
+// classify mutates, so each iteration re-classifies fresh copies.
+func BenchmarkDetermineParallel(b *testing.B) {
+	env := benchSetup(b)
+	cfg := env.World.URHunterConfig()
+	urs := env.Result.URs
+	workers := runtime.GOMAXPROCS(0)
+	det := core.NewDeterminer(cfg, env.Result.Correct, env.Result.Protective)
+	copies := make([]core.UR, len(urs))
+	batch := make([]*core.UR, len(urs))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, u := range urs {
+			copies[j] = *u
+			copies[j].Category, copies[j].Reason = core.CategoryUnknown, core.ReasonNone
+			batch[j] = &copies[j]
+		}
+		_ = det.DetermineParallel(batch, workers)
+	}
+	b.ReportMetric(float64(len(urs))*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkAnalyzeParallel measures the fanned-out §4.3 labeling pass over
+// the suspicious set. The labels land back in the same deterministic state
+// the shared env held, so later benches read an unchanged Result.
+func BenchmarkAnalyzeParallel(b *testing.B) {
+	env := benchSetup(b)
+	cfg := env.World.URHunterConfig()
+	workers := runtime.GOMAXPROCS(0)
+	suspicious := env.Result.Suspicious
+	analyzer := core.NewAnalyzer(cfg)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, u := range suspicious {
+			u.Category = core.CategoryUnknown
+			u.MaliciousByIntel, u.MaliciousByIDS = false, false
+		}
+		analyzer.AnalyzeParallel(suspicious, workers)
+	}
+	b.ReportMetric(float64(len(suspicious))*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+	b.ReportMetric(float64(workers), "workers")
 }
 
 // --- substrate microbenches ----------------------------------------------

@@ -50,6 +50,8 @@ type report struct {
 func main() {
 	out := flag.String("out", "BENCH_pipeline.json", "output file ('-' for stdout)")
 	seed := flag.Int64("seed", 7, "world generation seed")
+	gatePct := flag.Float64("max-journal-overhead-pct", 0,
+		"exit 1 if JournaledPipeline's journal_overhead_% exceeds this (0 disables the gate)")
 	flag.Parse()
 
 	env, err := repro.NewEnv(context.Background(), repro.TinyScale(), *seed)
@@ -81,6 +83,7 @@ func main() {
 	run("Table1Pipeline", func(b *testing.B) {
 		var queries int64
 		var cov *core.Coverage
+		var stages *core.StageTimings
 		for i := 0; i < b.N; i++ {
 			res, err := repro.NewPipeline(env.World).Run(context.Background())
 			if err != nil {
@@ -88,9 +91,56 @@ func main() {
 			}
 			queries = res.Queries
 			cov = res.Coverage
+			stages = res.Stages
 		}
 		b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
 		b.ReportMetric(100*cov.AnsweredRatio(), "answered_%")
+		b.ReportMetric(stages.OverlapPercent(), "pipeline_overlap_%")
+	})
+	// PipelineOverlap measures what the streaming dataflow buys end to end:
+	// each iteration runs the pipeline fully serial (one sweep worker, one
+	// determine worker) and then at the GOMAXPROCS defaults, back to back,
+	// and speedup_vs_serial_x is the MEDIAN of the per-pair wall-clock
+	// ratios (same estimator rationale as JournaledPipeline). On a 1-core
+	// host the ratio hovers near 1.0 by construction — the overlap win needs
+	// GOMAXPROCS>1 to materialize, which is where the CI runners record it.
+	run("PipelineOverlap", func(b *testing.B) {
+		var ratios []float64
+		var overlap float64
+		var serialNs, overlappedNs int64
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			cfg := env.World.URHunterConfig()
+			cfg.Parallelism, cfg.DetermineWorkers = 1, 1
+			if _, err := core.NewPipeline(cfg).Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			t1 := time.Now()
+			res, err := repro.NewPipeline(env.World).Run(context.Background())
+			if err != nil {
+				b.Fatal(err)
+			}
+			t2 := time.Now()
+			serial, overlapped := t1.Sub(t0).Nanoseconds(), t2.Sub(t1).Nanoseconds()
+			serialNs += serial
+			overlappedNs += overlapped
+			if overlapped > 0 {
+				ratios = append(ratios, float64(serial)/float64(overlapped))
+			}
+			overlap = res.Stages.OverlapPercent()
+		}
+		if len(ratios) > 0 {
+			sort.Float64s(ratios)
+			mid := len(ratios) / 2
+			med := ratios[mid]
+			if len(ratios)%2 == 0 {
+				med = (ratios[mid-1] + ratios[mid]) / 2
+			}
+			b.ReportMetric(med, "speedup_vs_serial_x")
+		}
+		b.ReportMetric(float64(serialNs)/float64(b.N), "serial_ns_per_op")
+		b.ReportMetric(float64(overlappedNs)/float64(b.N), "overlapped_ns_per_op")
+		b.ReportMetric(overlap, "pipeline_overlap_%")
 	})
 	// ChaosPipelineCoverage runs the same pipeline under the acceptance-gate
 	// fault mix (30% loss, 5% wrong-ID spoofing everywhere, two flapping
@@ -198,6 +248,60 @@ func main() {
 			b.ReportMetric(100*float64(minJournaled-minBase)/float64(minBase), "journal_overhead_min_%")
 		}
 	})
+	// DetermineParallel / AnalyzeParallel isolate the classification tail the
+	// overlapped pipeline parallelized: one collected, enriched UR set,
+	// re-classified per iteration after a field reset (the reset is a linear
+	// walk, negligible against the lookups being measured).
+	detSetup := func(b *testing.B) (*core.Config, *core.Determiner, []*core.UR) {
+		cfg := env.World.URHunterConfig()
+		col := core.NewCollector(cfg)
+		correct, err := col.CollectCorrect(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		protective, err := col.CollectProtective(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		urs, err := col.CollectURs(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		return cfg, core.NewDeterminer(cfg, correct, protective), urs
+	}
+	resetURs := func(urs []*core.UR) {
+		for _, u := range urs {
+			u.Category, u.Reason = core.CategoryUnknown, core.ReasonNone
+			u.MaliciousByIntel, u.MaliciousByIDS = false, false
+		}
+	}
+	run("DetermineParallel", func(b *testing.B) {
+		_, det, urs := detSetup(b)
+		workers := runtime.GOMAXPROCS(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			resetURs(urs)
+			det.DetermineParallel(urs, workers)
+		}
+		b.ReportMetric(float64(len(urs))*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+		b.ReportMetric(float64(workers), "workers")
+	})
+	run("AnalyzeParallel", func(b *testing.B) {
+		cfg, det, urs := detSetup(b)
+		suspicious := det.DetermineParallel(urs, runtime.GOMAXPROCS(0))
+		analyzer := core.NewAnalyzer(cfg)
+		workers := runtime.GOMAXPROCS(0)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, u := range suspicious {
+				u.Category = core.CategoryUnknown
+				u.MaliciousByIntel, u.MaliciousByIDS = false, false
+			}
+			analyzer.AnalyzeParallel(suspicious, workers)
+		}
+		b.ReportMetric(float64(len(suspicious))*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
+		b.ReportMetric(float64(workers), "workers")
+	})
 	run("CollectorSweep", func(b *testing.B) {
 		cfg := env.World.URHunterConfig()
 		var queries int64
@@ -271,11 +375,26 @@ func main() {
 	data = append(data, '\n')
 	if *out == "-" {
 		os.Stdout.Write(data)
-		return
+	} else {
+		if err := os.WriteFile(*out, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 	}
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
-		fmt.Fprintf(os.Stderr, "benchjson: write: %v\n", err)
-		os.Exit(1)
+
+	// Regression gate: the snapshot is written first so a failing run still
+	// leaves the numbers behind for diagnosis.
+	if *gatePct > 0 {
+		got, ok := rep.Benchmarks["JournaledPipeline"].Extra["journal_overhead_%"]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchjson: gate: JournaledPipeline reported no journal_overhead_%")
+			os.Exit(1)
+		}
+		if got > *gatePct {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: journal_overhead_%% %.2f exceeds the %.2f limit\n", got, *gatePct)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "journal overhead gate: %.2f%% <= %.2f%%\n", got, *gatePct)
 	}
-	fmt.Fprintf(os.Stderr, "wrote %s\n", *out)
 }

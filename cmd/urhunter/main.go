@@ -6,6 +6,7 @@
 //
 //	urhunter [-scale tiny|small|paper] [-seed N] [-top N] [-domains N]
 //	         [-journal DIR | -resume DIR] [-checkpoint-every N]
+//	         [-determine-workers N]
 //
 // With -journal, every answered probe is checkpointed into DIR as the sweep
 // runs; a run killed by SIGINT/SIGTERM (first signal drains gracefully,
@@ -37,6 +38,7 @@ func main() {
 	journalDir := flag.String("journal", "", "checkpoint the sweep into this directory (created if missing)")
 	resumeDir := flag.String("resume", "", "resume a checkpointed run from this directory")
 	ckptEvery := flag.Int("checkpoint-every", 0, "flush the journal every N records (0 = default)")
+	detWorkers := flag.Int("determine-workers", 0, "streaming classification workers (0 = inherit sweep parallelism); any value yields byte-identical reports")
 	flag.Parse()
 
 	if *journalDir != "" && *resumeDir != "" {
@@ -106,6 +108,9 @@ func main() {
 	} else {
 		pipe = repro.NewPipeline(world)
 	}
+	// DetermineWorkers is read at Run time only, so setting it after pipeline
+	// construction is safe (unlike Parallelism, which sizes the watchdog).
+	pipe.Cfg.DetermineWorkers = *detWorkers
 	res, err := pipe.Run(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "urhunter: pipeline: %v\n", err)

@@ -2,6 +2,8 @@ package core
 
 import (
 	"net/netip"
+	"sort"
+	"sync"
 
 	"repro/internal/dns"
 	idspkg "repro/internal/ids"
@@ -37,12 +39,15 @@ func NewAnalyzer(cfg *Config) *Analyzer {
 // Alerts returns every alert fired over the sandbox corpus.
 func (a *Analyzer) Alerts() []idspkg.Alert { return a.alerts }
 
-// IDSFlaggedIPs returns the evidence set from sandbox traffic.
+// IDSFlaggedIPs returns the evidence set from sandbox traffic in canonical
+// (address) order, so callers see the same slice on every run instead of
+// one draw from the map iteration lottery.
 func (a *Analyzer) IDSFlaggedIPs() []netip.Addr {
 	out := make([]netip.Addr, 0, len(a.idsIPs))
 	for ip := range a.idsIPs {
 		out = append(out, ip)
 	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Compare(out[j]) < 0 })
 	return out
 }
 
@@ -53,18 +58,56 @@ func (a *Analyzer) IDSFlaggedIPs() []netip.Addr {
 // excludes them from the malicious determination).
 func (a *Analyzer) Analyze(suspicious []*UR) {
 	a.attachTXTCorrespondence(suspicious)
+	a.label(suspicious)
+}
+
+// AnalyzeParallel is Analyze with the per-record labeling fanned out over
+// workers. The TXT↔A correspondence index is the one genuine barrier — it
+// needs every A record before any TXT record can be finished — and runs
+// serially first; the label pass then touches each record exactly once, so
+// chunking it is order-independent.
+func (a *Analyzer) AnalyzeParallel(suspicious []*UR, workers int) {
+	a.attachTXTCorrespondence(suspicious)
+	if workers <= 1 || len(suspicious) < 2*minDetChunk {
+		a.label(suspicious)
+		return
+	}
+	chunk := (len(suspicious) + workers - 1) / workers
+	if chunk < minDetChunk {
+		chunk = minDetChunk
+	}
+	var wg sync.WaitGroup
+	for start := 0; start < len(suspicious); start += chunk {
+		end := start + chunk
+		if end > len(suspicious) {
+			end = len(suspicious)
+		}
+		wg.Add(1)
+		go func(part []*UR) {
+			defer wg.Done()
+			a.label(part)
+		}(suspicious[start:end])
+	}
+	wg.Wait()
+}
+
+// label applies the intel/IDS evidence to each record, stopping the IP walk
+// as soon as both evidence kinds have fired. Read-only over the shared
+// evidence sets, so chunks of the same slice can run concurrently.
+func (a *Analyzer) label(suspicious []*UR) {
 	for _, u := range suspicious {
 		if u.Category != CategoryUnknown {
 			continue
 		}
 		for _, ip := range u.CorrespondingIPs {
-			intel := a.cfg.Intel != nil && a.cfg.Intel.IsMalicious(ip)
-			ids := a.idsIPs[ip]
-			if intel {
+			if !u.MaliciousByIntel && a.cfg.Intel != nil && a.cfg.Intel.IsMalicious(ip) {
 				u.MaliciousByIntel = true
 			}
-			if ids {
+			if !u.MaliciousByIDS && a.idsIPs[ip] {
 				u.MaliciousByIDS = true
+			}
+			if u.MaliciousByIntel && u.MaliciousByIDS {
+				break
 			}
 		}
 		if u.MaliciousByIntel || u.MaliciousByIDS {
@@ -81,7 +124,7 @@ func (a *Analyzer) attachTXTCorrespondence(urs []*UR) {
 		server netip.Addr
 		domain dns.Name
 	}
-	aIPs := make(map[key][]netip.Addr)
+	aIPs := make(map[key][]netip.Addr, len(urs)/2+1)
 	for _, u := range urs {
 		if u.Type == dns.TypeA && len(u.CorrespondingIPs) > 0 {
 			k := key{u.Server.Addr, u.Domain}
@@ -96,7 +139,7 @@ func (a *Analyzer) attachTXTCorrespondence(urs []*UR) {
 		if len(extra) == 0 {
 			continue
 		}
-		seen := make(map[netip.Addr]bool, len(u.CorrespondingIPs))
+		seen := make(map[netip.Addr]bool, len(u.CorrespondingIPs)+len(extra))
 		for _, ip := range u.CorrespondingIPs {
 			seen[ip] = true
 		}

@@ -1,0 +1,151 @@
+// Differential pins for the TXT classification fast paths. ClassifyTXT's
+// byte scans (hasTXTPrefixFold, containsFoldWord) and the HTTP filter's
+// asciiContainsFold replaced regex / strings.ToLower code on the
+// per-record path; these tests hold them byte-for-byte equivalent to the
+// originals over curated fixtures and a generated near-miss corpus.
+package core
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+// The anchored patterns determiner.go used before the byte-scan rewrite,
+// kept here verbatim as the reference implementation.
+var (
+	refSPF   = regexp.MustCompile(`(?i)^"?v=spf1\b`)
+	refDMARC = regexp.MustCompile(`(?i)^"?v=dmarc1\b`)
+	refDKIM  = regexp.MustCompile(`(?i)\bv=dkim1\b`)
+)
+
+func refClassifyTXT(rdata string) TXTCategory {
+	switch {
+	case refSPF.MatchString(rdata):
+		return TXTSPF
+	case refDMARC.MatchString(rdata):
+		return TXTDMARC
+	case refDKIM.MatchString(rdata):
+		return TXTDKIM
+	case reVerif.MatchString(rdata):
+		return TXTVerification
+	default:
+		return TXTOther
+	}
+}
+
+// classifyFixtures covers every §4.2 bucket, the case/quote variants the
+// fold must honor, and the boundary traps where a naive prefix check would
+// diverge from the anchored regexes.
+var classifyFixtures = []struct {
+	rdata string
+	want  TXTCategory
+}{
+	{`"v=spf1 ip4:1.2.3.4 -all"`, TXTSPF},
+	{`v=spf1 include:_spf.example.com ~all`, TXTSPF},
+	{`"V=SPF1 -ALL"`, TXTSPF},
+	{`"v=spf1"`, TXTSPF},
+	{`v=spf1`, TXTSPF},
+	{`"v=spf1-all"`, TXTSPF},     // '-' is not a word byte, so \b holds
+	{`"v=spf10 -all"`, TXTOther}, // \b fails inside "spf10"
+	{`"v=spf1x"`, TXTOther},
+	{`" v=spf1"`, TXTOther}, // anchored: a leading space breaks ^"?
+	{`x"v=spf1"`, TXTOther},
+	{`""v=spf1"`, TXTOther}, // exactly one optional leading quote
+	{`"v=DMARC1; p=reject"`, TXTDMARC},
+	{`v=dmarc1;p=none`, TXTDMARC},
+	{`"v=dmarc12"`, TXTOther},
+	{`"p=reject; v=dmarc1"`, TXTOther}, // DMARC tag must lead the record
+	{`"k=rsa; v=DKIM1; p=MIGf..."`, TXTDKIM},
+	{`v=dkim1`, TXTDKIM},
+	{`"x v=dkim1"`, TXTDKIM}, // \b: space before the v
+	{`"xv=dkim1"`, TXTOther}, // \b fails after a word byte
+	{`"v=dkim12"`, TXTOther},
+	{`"google-site-verification=xyz"`, TXTVerification},
+	{`"xx-domain-verification=abc"`, TXTVerification},
+	{`"MS=ms123 verification=1"`, TXTVerification},
+	{`"_verify.example"`, TXTVerification},
+	{`"cmd=deadbeef"`, TXTOther},
+	{`"random text"`, TXTOther},
+	{``, TXTOther},
+	{`"`, TXTOther},
+	{`""`, TXTOther},
+}
+
+func TestClassifyTXTFixtures(t *testing.T) {
+	for _, tc := range classifyFixtures {
+		got := ClassifyTXT(tc.rdata)
+		if got != tc.want {
+			t.Errorf("ClassifyTXT(%q) = %v, want %v", tc.rdata, got, tc.want)
+		}
+		if ref := refClassifyTXT(tc.rdata); got != ref {
+			t.Errorf("ClassifyTXT(%q) = %v, regex reference = %v", tc.rdata, got, ref)
+		}
+	}
+}
+
+// TestClassifyTXTDifferential hammers the byte scans with a seeded corpus
+// biased toward near-misses of the anchored patterns: fragments of the real
+// tags spliced into noise drawn from the tags' own alphabet.
+func TestClassifyTXTDifferential(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	alphabet := `vV=sSpPfFdDmMaArRcCkKiI10 2"x_-;.`
+	seeds := []string{`v=spf1`, `v=dmarc1`, `v=dkim1`, `"v=`, `verification=`, `_verify`}
+	for i := 0; i < 20000; i++ {
+		var sb strings.Builder
+		for n := rng.Intn(6); n >= 0; n-- {
+			if rng.Intn(3) == 0 {
+				sb.WriteString(seeds[rng.Intn(len(seeds))])
+				continue
+			}
+			for m := rng.Intn(8); m >= 0; m-- {
+				sb.WriteByte(alphabet[rng.Intn(len(alphabet))])
+			}
+		}
+		s := sb.String()
+		if got, ref := ClassifyTXT(s), refClassifyTXT(s); got != ref {
+			t.Fatalf("ClassifyTXT(%q) = %v, regex reference = %v", s, got, ref)
+		}
+	}
+}
+
+// TestASCIIContainsFold pins the HTTP filter helper against the
+// strings.Contains(strings.ToLower(s), sub) code it replaced. The corpus is
+// ASCII because the helper's contract is ASCII folding — the HTTP bodies the
+// filter scans for "parked"/"parking"/"redirecting" markers.
+func TestASCIIContainsFold(t *testing.T) {
+	cases := []struct{ s, sub string }{
+		{"", "parked"},
+		{"parked", ""},
+		{"This domain is PARKED at example", "parked"},
+		{"Now ParKing lot", "parking"},
+		{"redirect", "redirecting"},
+		{"....Redirecting you", "redirecting"},
+		{"parkeD", "parked"},
+		{"park ed", "parked"},
+		{"xxPARKINGxx", "parking"},
+		{"parkeparked", "parked"},
+	}
+	for _, tc := range cases {
+		want := strings.Contains(strings.ToLower(tc.s), tc.sub)
+		if got := asciiContainsFold(tc.s, tc.sub); got != want {
+			t.Errorf("asciiContainsFold(%q, %q) = %v, want %v", tc.s, tc.sub, got, want)
+		}
+	}
+	rng := rand.New(rand.NewSource(5))
+	alphabet := "PpAaRrKkEeDdGgIiNnCcTt x."
+	for i := 0; i < 20000; i++ {
+		b := make([]byte, rng.Intn(32))
+		for j := range b {
+			b[j] = alphabet[rng.Intn(len(alphabet))]
+		}
+		s := string(b)
+		for _, sub := range []string{"parked", "parking", "redirecting"} {
+			want := strings.Contains(strings.ToLower(s), sub)
+			if got := asciiContainsFold(s, sub); got != want {
+				t.Fatalf("asciiContainsFold(%q, %q) = %v, want %v", s, sub, got, want)
+			}
+		}
+	}
+}

@@ -3,7 +3,6 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
 	"net/netip"
 	"runtime"
 	"sort"
@@ -66,6 +65,12 @@ type Config struct {
 	// selects runtime.GOMAXPROCS(0), i.e. one worker per available core.
 	Parallelism int
 
+	// DetermineWorkers bounds the overlapped pipeline's streaming
+	// classification pool (§4.2/§4.3 per-record work). Zero or negative
+	// inherits Parallelism's resolution. Any setting produces byte-identical
+	// reports; this only tunes how many cores the determination tail uses.
+	DetermineWorkers int
+
 	// QueryTypes defaults to A and TXT, the paper's two sweeps.
 	QueryTypes []dns.Type
 
@@ -113,6 +118,13 @@ func (c *Config) parallelism() int {
 		return runtime.GOMAXPROCS(0)
 	}
 	return c.Parallelism
+}
+
+func (c *Config) determineWorkers() int {
+	if c.DetermineWorkers <= 0 {
+		return c.parallelism()
+	}
+	return c.DetermineWorkers
 }
 
 // queryShards and probeShards shard the collector's two shared books so
@@ -170,11 +182,27 @@ type Collector struct {
 	probeFn func(src, dst netip.Addr) websim.ProbeResult
 
 	// journal is the optional checkpoint store; skip marks every probe the
-	// journal replayed so workers never re-query it. skip is built during
-	// the single-threaded replay at each sweep's start and read-only while
-	// workers run.
+	// journal replayed so workers never re-query it. Each sweep's replay
+	// builds its slice of the map single-threaded at that sweep's start, but
+	// the overlapped pipeline runs the correct sweep concurrently with the
+	// fused nameserver sweep, so skipMu covers the build/lookup overlap.
 	journal *Journal
+	skipMu  sync.RWMutex
 	skip    map[probeKey]struct{}
+	// hasSkip publishes "the skip set is non-empty" without a lock, so the
+	// per-probe replayed() check on a fresh (non-resumed) journaled run is a
+	// single atomic load. Set under skipMu by replaySweep.
+	hasSkip atomic.Bool
+
+	// in interns UR identity strings (rdata) so a sweep holds one canonical
+	// instance of each distinct value; see intern.go.
+	in *interner
+
+	// deleg memoizes the per-target delegated-host set (the ancestor walk
+	// over cfg.DelegatedNS), built once on first use instead of copying
+	// delegation slices on every (server, target) probe.
+	delegOnce sync.Once
+	deleg     map[dns.Name]map[dns.Name]bool
 
 	// wd is the stall watchdog; nil when the transport cannot stall.
 	wd *watchdog
@@ -197,7 +225,7 @@ func NewCollector(cfg *Config) *Collector {
 	// Backoff jitter follows the config seed so two runs over the same world
 	// book identical virtual wall-clock even under chaos.
 	client.Backoff.JitterSeed = uint64(cfg.Seed)
-	c := &Collector{cfg: cfg, client: client, journal: cfg.Journal}
+	c := &Collector{cfg: cfg, client: client, journal: cfg.Journal, in: newInterner()}
 	for i := range c.perServer {
 		c.perServer[i].n = make(map[netip.Addr]int64)
 	}
@@ -212,9 +240,11 @@ func NewCollector(cfg *Config) *Collector {
 	}
 	// The watchdog only matters over transports that can block a worker;
 	// the fabric is synchronous, so by default it stays off there (Force
-	// overrides, for tests).
+	// overrides, for tests). The overlapped pipeline runs the correct sweep
+	// ([0, P) slots) concurrently with the fused nameserver sweep ([P, 2P)),
+	// and each has its own re-queue spare (2P and 2P+1), hence 2P+2 slots.
 	if !dnsio.IsInstant(transport) || (cfg.Watchdog != nil && cfg.Watchdog.Force) {
-		c.wd = newWatchdog(cfg.parallelism(), c.probeBudget(), cfg.Watchdog)
+		c.wd = newWatchdog(2*cfg.parallelism()+1, c.probeBudget(), cfg.Watchdog)
 	}
 	return c
 }
@@ -272,10 +302,16 @@ func (c *Collector) nsInfoFor(addr netip.Addr) NameserverInfo {
 }
 
 // replayed reports whether the journal already holds this probe's outcome.
+// The hasSkip fast path keeps fresh journaled runs (nothing to resume, the
+// common case) from paying a per-probe RLock: a sweep's own replaySweep
+// completes — and publishes hasSkip — before that sweep's workers launch, so
+// a false load can only be observed when this sweep replayed nothing.
 func (c *Collector) replayed(kind sweepKind, server netip.Addr, domain dns.Name, qt dns.Type) bool {
-	if c.skip == nil {
+	if !c.hasSkip.Load() {
 		return false
 	}
+	c.skipMu.RLock()
+	defer c.skipMu.RUnlock()
 	_, ok := c.skip[probeKey{sweep: kind, server: server, domain: domain, qtype: qt}]
 	return ok
 }
@@ -290,6 +326,8 @@ func (c *Collector) replaySweep(kind sweepKind, onAnswer func(ns NameserverInfo,
 		return
 	}
 	rs := c.journal.rs
+	c.skipMu.Lock()
+	defer c.skipMu.Unlock()
 	if c.skip == nil {
 		c.skip = make(map[probeKey]struct{}, len(rs.answered)+len(rs.failed))
 	}
@@ -338,6 +376,9 @@ func (c *Collector) replaySweep(kind sweepKind, onAnswer func(ns NameserverInfo,
 	}
 	for addr, t := range per {
 		c.bookReplay(addr, t.att, t.ans, t.rec)
+	}
+	if len(c.skip) > 0 {
+		c.hasSkip.Store(true)
 	}
 }
 
@@ -474,21 +515,7 @@ func feed[T any](ctx context.Context, jobs chan<- T, stop *atomic.Bool, items []
 func (c *Collector) CollectURs(ctx context.Context) ([]*UR, error) {
 	var out []*UR
 	c.replaySweep(sweepURs, func(ns NameserverInfo, domain dns.Name, qt dns.Type, resp *dns.Message) {
-		if resp.Header.RCode != dns.RCodeSuccess {
-			return
-		}
-		for _, rr := range resp.Answers {
-			if rr.Type() != qt || rr.Name != domain {
-				continue
-			}
-			out = append(out, &UR{
-				Server: ns,
-				Domain: domain,
-				Type:   qt,
-				RData:  rr.Data.String(),
-				TTL:    rr.TTL,
-			})
-		}
+		out = c.ursFromResponse(ns, domain, qt, resp, out)
 	})
 	c.wd.start()
 	defer c.wd.stop()
@@ -545,21 +572,7 @@ func (c *Collector) CollectURs(ctx context.Context) ([]*UR, error) {
 	// lossy, or breaker-blocked get one more chance now that the sweep
 	// pressure is off and breakers may have recovered.
 	err := c.requeue(ctx, sweepURs, func(f probeFailure, resp *dns.Message) {
-		if resp.Header.RCode != dns.RCodeSuccess {
-			return
-		}
-		for _, rr := range resp.Answers {
-			if rr.Type() != f.qtype || rr.Name != f.domain {
-				continue
-			}
-			out = append(out, &UR{
-				Server: f.ns,
-				Domain: f.domain,
-				Type:   f.qtype,
-				RData:  rr.Data.String(),
-				TTL:    rr.TTL,
-			})
-		}
+		out = c.ursFromResponse(f.ns, f.domain, f.qtype, resp, out)
 	})
 	if err != nil {
 		return nil, err
@@ -570,10 +583,18 @@ func (c *Collector) CollectURs(ctx context.Context) ([]*UR, error) {
 }
 
 // requeue re-runs one sweep's failed probes after the main pass, in canonical
-// order so the extra query plan is deterministic. Recovered probes are booked
-// and handed to onAnswer; probes that fail again are refiled with their new
-// failure class (still-open breakers fail fast without touching the fabric).
+// order so the extra query plan is deterministic. It runs on the caller
+// goroutine with the standalone sweeps' spare watchdog slot (index 2P).
 func (c *Collector) requeue(ctx context.Context, kind sweepKind, onAnswer func(f probeFailure, resp *dns.Message)) error {
+	return c.requeueOn(ctx, kind, c.wd.slot(2*c.cfg.parallelism()), onAnswer)
+}
+
+// requeueOn is requeue with an explicit watchdog slot, so the overlapped
+// pipeline's two concurrent re-queue tails (correct sweep, fused nameserver
+// sweep) never share a stall slot. Recovered probes are booked and handed to
+// onAnswer; probes that fail again are refiled with their new failure class
+// (still-open breakers fail fast without touching the fabric).
+func (c *Collector) requeueOn(ctx context.Context, kind sweepKind, slot *stallSlot, onAnswer func(f probeFailure, resp *dns.Message)) error {
 	fails := c.drainFailures(kind)
 	if len(fails) == 0 {
 		return nil
@@ -589,10 +610,6 @@ func (c *Collector) requeue(ctx context.Context, kind sweepKind, onAnswer func(f
 		defer c.releaseSegment(seg)
 	}
 	sortFailures(fails)
-	// The re-queue pass runs on the caller goroutine; it gets the watchdog's
-	// spare slot (index workers), reserved so a stalled retry cannot wedge
-	// the tail of the sweep either.
-	slot := c.wd.slot(c.cfg.parallelism())
 	var lastAddr netip.Addr
 	var issued int64
 	flush := func() {
@@ -675,7 +692,7 @@ func (c *Collector) collectFromNS(ctx context.Context, ns NameserverInfo, seg *s
 	var fails []probeFailure
 	defer func() {
 		c.addQueries(ns.Addr, issued)
-		c.bookSweep(ns.Addr, attempted, answered, fails)
+		c.bookSweep(ns.Addr, attempted, answered, 0, fails)
 	}()
 	// Ethics appendix: queries are issued in randomized order, never
 	// walking the target list top-down against any single server.
@@ -712,37 +729,59 @@ func (c *Collector) collectFromNS(ctx context.Context, ns NameserverInfo, seg *s
 					return out, jerr
 				}
 			}
-			if resp.Header.RCode != dns.RCodeSuccess {
-				continue
-			}
-			for _, rr := range resp.Answers {
-				if rr.Type() != qt || rr.Name != target {
-					continue
-				}
-				out = append(out, &UR{
-					Server: ns,
-					Domain: target,
-					Type:   qt,
-					RData:  rr.Data.String(),
-					TTL:    rr.TTL,
-				})
-			}
+			out = c.ursFromResponse(ns, target, qt, resp, out)
 		}
 	}
 	return out, nil
 }
 
+// ursFromResponse extracts this probe's undelegated records from a NOERROR
+// response and appends them to out. RData is interned: the same record served
+// by many nameservers (the common hosting-provider case) collapses to one
+// canonical string, which both trims live heap and makes the determiner's
+// memo-map lookups pointer-equality fast.
+func (c *Collector) ursFromResponse(ns NameserverInfo, domain dns.Name, qt dns.Type, resp *dns.Message, out []*UR) []*UR {
+	if resp.Header.RCode != dns.RCodeSuccess {
+		return out
+	}
+	for _, rr := range resp.Answers {
+		if rr.Type() != qt || rr.Name != domain {
+			continue
+		}
+		out = append(out, &UR{
+			Server: ns,
+			Domain: domain,
+			Type:   qt,
+			RData:  c.in.intern(rr.Data.String()),
+			TTL:    rr.TTL,
+		})
+	}
+	return out
+}
+
 // shuffledTargets returns the target list in a server-specific pseudo-random
-// order, deterministic in the server address.
+// order, deterministic in the server address. The shuffle is an inline
+// splitmix64 Fisher-Yates: math/rand's lagged-Fibonacci source initializes
+// ~5 KiB of state per Seed call, which profiles as several percent of a
+// clean sweep when paid once per server.
 func (c *Collector) shuffledTargets(server netip.Addr) []dns.Name {
 	out := make([]dns.Name, len(c.cfg.Targets))
 	copy(out, c.cfg.Targets)
-	seed := int64(0)
+	x := uint64(0)
 	for _, b := range server.AsSlice() {
-		seed = seed*131 + int64(b)
+		x = x*131 + uint64(b)
 	}
-	r := rand.New(rand.NewSource(seed))
-	r.Shuffle(len(out), func(i, j int) { out[i], out[j] = out[j], out[i] })
+	for i := len(out) - 1; i > 0; i-- {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		j := int(z % uint64(i+1))
+		out[i], out[j] = out[j], out[i]
+	}
 	return out
 }
 
@@ -750,18 +789,27 @@ func (c *Collector) shuffledTargets(server netip.Addr) []dns.Name {
 // resolves under — is delegated to this nameserver host. FQDN targets
 // (api.gitlab.com) served by their SLD's delegated server are normal
 // resolution, not undelegated records.
+//
+// The ancestor walk over cfg.DelegatedNS — which typically snapshots a
+// registry delegation slice per call — runs once per target here, not once
+// per (server, target) probe; every probe after that is a two-map lookup.
 func (c *Collector) isExactlyDelegated(target dns.Name, ns NameserverInfo) bool {
-	if c.cfg.DelegatedNS == nil {
-		return false
-	}
-	for n := target; n != dns.Root; n = n.Parent() {
-		for _, host := range c.cfg.DelegatedNS(n) {
-			if host == ns.Host {
-				return true
-			}
+	c.delegOnce.Do(func() {
+		if c.cfg.DelegatedNS == nil {
+			return
 		}
-	}
-	return false
+		c.deleg = make(map[dns.Name]map[dns.Name]bool, len(c.cfg.Targets))
+		for _, t := range c.cfg.Targets {
+			hosts := make(map[dns.Name]bool)
+			for n := t; n != dns.Root; n = n.Parent() {
+				for _, host := range c.cfg.DelegatedNS(n) {
+					hosts[host] = true
+				}
+			}
+			c.deleg[t] = hosts
+		}
+	})
+	return c.deleg[target][ns.Host]
 }
 
 // enrich attaches AS/geo/cert/HTTP data to every A-record UR and the
@@ -770,29 +818,37 @@ func (c *Collector) isExactlyDelegated(target dns.Name, ns NameserverInfo) bool 
 // set).
 func (c *Collector) enrich(urs []*UR) {
 	for _, u := range urs {
-		switch u.Type {
-		case dns.TypeA:
-			addr, err := netip.ParseAddr(u.RData)
-			if err != nil {
-				continue
-			}
-			u.CorrespondingIPs = []netip.Addr{addr}
-			if info, ok := c.cfg.IPDB.Lookup(addr); ok {
-				u.ASN, u.ASName, u.Country = info.ASN, info.ASName, info.Country
-			}
-			if c.probeFn != nil {
-				u.HTTP = c.probe(addr)
-				u.Cert = u.HTTP.Cert
-			}
-		case dns.TypeTXT:
-			u.TXTClass = ClassifyTXT(u.RData)
-			u.CorrespondingIPs = extractIPs(u.RData)
-		default:
-			// MX and other extension types: rdata names a host rather than
-			// an address; any embedded literal IPs still count as
-			// correspondence evidence.
-			u.CorrespondingIPs = extractIPs(u.RData)
+		c.enrichOne(u)
+	}
+}
+
+// enrichOne enriches a single record; the overlapped pipeline's determine
+// workers call it per streamed record so enrichment overlaps the sweep tail.
+// Safe concurrently: IPDB lookups are read-only and the web probe cache is a
+// singleflight.
+func (c *Collector) enrichOne(u *UR) {
+	switch u.Type {
+	case dns.TypeA:
+		addr, err := netip.ParseAddr(u.RData)
+		if err != nil {
+			return
 		}
+		u.CorrespondingIPs = []netip.Addr{addr}
+		if info, ok := c.cfg.IPDB.Lookup(addr); ok {
+			u.ASN, u.ASName, u.Country = info.ASN, info.ASName, info.Country
+		}
+		if c.probeFn != nil {
+			u.HTTP = c.probe(addr)
+			u.Cert = u.HTTP.Cert
+		}
+	case dns.TypeTXT:
+		u.TXTClass = ClassifyTXT(u.RData)
+		u.CorrespondingIPs = extractIPs(u.RData)
+	default:
+		// MX and other extension types: rdata names a host rather than
+		// an address; any embedded literal IPs still count as
+		// correspondence evidence.
+		u.CorrespondingIPs = extractIPs(u.RData)
 	}
 }
 
@@ -886,7 +942,7 @@ func (c *Collector) collectCorrectVia(ctx context.Context, db *CorrectDB, resolv
 	var fails []probeFailure
 	defer func() {
 		c.addQueries(resolver, issued)
-		c.bookSweep(resolver, attempted, answered, fails)
+		c.bookSweep(resolver, attempted, answered, 0, fails)
 	}()
 	for _, target := range c.shuffledTargets(resolver) {
 		for _, qt := range c.cfg.queryTypes() {
@@ -1033,7 +1089,7 @@ func (c *Collector) collectProtectiveFrom(ctx context.Context, db *ProtectiveDB,
 	var fails []probeFailure
 	defer func() {
 		c.addQueries(ns.Addr, issued)
-		c.bookSweep(ns.Addr, attempted, answered, fails)
+		c.bookSweep(ns.Addr, attempted, answered, 0, fails)
 	}()
 	for _, qt := range c.cfg.queryTypes() {
 		if err := ctx.Err(); err != nil {

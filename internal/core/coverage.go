@@ -107,7 +107,9 @@ func (c *Collector) covShardOf(addr netip.Addr) *covShard {
 
 // bookSweep books one server's batch of probe outcomes: counts once per
 // (server, sweep) batch, failure records appended for the re-queue pass.
-func (c *Collector) bookSweep(server netip.Addr, attempted, answered int64, fails []probeFailure) {
+// recovered counts probes that failed and then answered on an in-job retry
+// (the fused sweep's canary retry); such probes are attempted once.
+func (c *Collector) bookSweep(server netip.Addr, attempted, answered, recovered int64, fails []probeFailure) {
 	if attempted == 0 && len(fails) == 0 {
 		return
 	}
@@ -120,6 +122,7 @@ func (c *Collector) bookSweep(server netip.Addr, attempted, answered int64, fail
 	}
 	sc.attempted += attempted
 	sc.answered += answered
+	sc.recovered += recovered
 	s.failures = append(s.failures, fails...)
 	s.mu.Unlock()
 }

@@ -3,7 +3,8 @@ package core
 import (
 	"net/netip"
 	"regexp"
-	"strings"
+	"sync"
+	"time"
 
 	"repro/internal/dns"
 )
@@ -14,6 +15,10 @@ type Determiner struct {
 	cfg        *Config
 	correct    *CorrectDB
 	protective *ProtectiveDB
+
+	// pdnsCutoff is the six-year passive-DNS window anchor, hoisted out of
+	// the per-record path (AddDate walks the calendar on every call).
+	pdnsCutoff time.Time
 
 	// Condition toggles for the E14 ablation: all enabled by default.
 	UseIPSubset   bool
@@ -28,17 +33,83 @@ type Determiner struct {
 func NewDeterminer(cfg *Config, correct *CorrectDB, protective *ProtectiveDB) *Determiner {
 	return &Determiner{
 		cfg: cfg, correct: correct, protective: protective,
+		pdnsCutoff:  cfg.Now.AddDate(-6, 0, 0),
 		UseIPSubset: true, UseASSubset: true, UseGeoSubset: true,
 		UseCertSubset: true, UsePDNS: true, UseHTTPFilter: true,
 	}
+}
+
+// pdnsMemoKey caches one (domain, type, rdata) PDNS verdict. With interned
+// rdata strings the map lookup compares pointers before bytes.
+type pdnsMemoKey struct {
+	domain dns.Name
+	t      dns.Type
+	rdata  string
+}
+
+// detMemo is one classification worker's private cache. A sweep produces the
+// same domain once per nameserver and the same rdata on every server of a
+// provider, so profile lookups and PDNS scans repeat heavily; the memo makes
+// the repeats map-hit-only without any cross-worker locking. A nil profile
+// entry is a cached "domain has no legitimate profile".
+//
+// Memos are created fresh per Determine/DetermineParallel invocation and
+// never stored on the Determiner: experiments swap the underlying databases
+// on a shared determiner (FalseNegativeCheck), which a persistent cache
+// would silently ignore.
+type detMemo struct {
+	profiles map[dns.Name]*DomainProfile
+	pdns     map[pdnsMemoKey]bool
+}
+
+func newDetMemo() *detMemo {
+	return &detMemo{
+		profiles: make(map[dns.Name]*DomainProfile, 64),
+		pdns:     make(map[pdnsMemoKey]bool, 64),
+	}
+}
+
+// lookupProfile resolves a domain's legitimate profile through the memo.
+func (d *Determiner) lookupProfile(m *detMemo, domain dns.Name) *DomainProfile {
+	if d.correct == nil {
+		return nil
+	}
+	if m == nil {
+		p, _ := d.correct.Lookup(domain)
+		return p
+	}
+	if p, ok := m.profiles[domain]; ok {
+		return p
+	}
+	p, _ := d.correct.Lookup(domain)
+	m.profiles[domain] = p
+	return p
+}
+
+// pdnsSeen resolves one passive-DNS verdict through the memo.
+func (d *Determiner) pdnsSeen(m *detMemo, domain dns.Name, t dns.Type, rdata string) bool {
+	if !d.UsePDNS || d.cfg.PDNS == nil {
+		return false
+	}
+	if m == nil {
+		return d.cfg.PDNS.Seen(domain, t, rdata, d.pdnsCutoff)
+	}
+	k := pdnsMemoKey{domain: domain, t: t, rdata: rdata}
+	if v, ok := m.pdns[k]; ok {
+		return v
+	}
+	v := d.cfg.PDNS.Seen(domain, t, rdata, d.pdnsCutoff)
+	m.pdns[k] = v
+	return v
 }
 
 // Determine labels every UR as protective, correct (with a reason), or
 // leaves it unknown (suspicious). It returns the suspicious subset.
 func (d *Determiner) Determine(urs []*UR) []*UR {
 	var suspicious []*UR
+	memo := newDetMemo()
 	for _, u := range urs {
-		d.classify(u)
+		d.classifyMemo(memo, u)
 		if u.Category == CategoryUnknown {
 			suspicious = append(suspicious, u)
 		}
@@ -46,7 +117,56 @@ func (d *Determiner) Determine(urs []*UR) []*UR {
 	return suspicious
 }
 
+// DetermineParallel is Determine over a worker pool: the input is chunked,
+// each worker classifies its chunk with a private memo, and the suspicious
+// subset is collected serially afterwards — so the returned ordering is
+// exactly Determine's regardless of worker count.
+func (d *Determiner) DetermineParallel(urs []*UR, workers int) []*UR {
+	if workers <= 1 || len(urs) < 2*minDetChunk {
+		return d.Determine(urs)
+	}
+	chunk := (len(urs) + workers - 1) / workers
+	if chunk < minDetChunk {
+		chunk = minDetChunk
+	}
+	var wg sync.WaitGroup
+	for start := 0; start < len(urs); start += chunk {
+		end := start + chunk
+		if end > len(urs) {
+			end = len(urs)
+		}
+		wg.Add(1)
+		go func(part []*UR) {
+			defer wg.Done()
+			memo := newDetMemo()
+			for _, u := range part {
+				d.classifyMemo(memo, u)
+			}
+		}(urs[start:end])
+	}
+	wg.Wait()
+	var suspicious []*UR
+	for _, u := range urs {
+		if u.Category == CategoryUnknown {
+			suspicious = append(suspicious, u)
+		}
+	}
+	return suspicious
+}
+
+// minDetChunk keeps DetermineParallel from spawning goroutines over record
+// counts where the memo warm-up costs more than the fan-out saves.
+const minDetChunk = 128
+
 func (d *Determiner) classify(u *UR) {
+	d.classifyMemo(nil, u)
+}
+
+// classifyMemo classifies one UR, routing profile and PDNS lookups through
+// the (possibly nil) worker memo. Safe for concurrent use across distinct
+// memos: the databases are read-only here and each record is owned by one
+// worker.
+func (d *Determiner) classifyMemo(m *detMemo, u *UR) {
 	// Protective records match exactly by (server, type, rdata).
 	if d.protective != nil && d.protective.Match(u.Server.Addr, u.Type, u.RData) {
 		u.Category = CategoryProtective
@@ -55,13 +175,13 @@ func (d *Determiner) classify(u *UR) {
 	}
 	switch u.Type {
 	case dns.TypeA:
-		if reason, ok := d.correctA(u); ok {
+		if reason, ok := d.correctA(m, u); ok {
 			u.Category = CategoryCorrect
 			u.Reason = reason
 			return
 		}
 	case dns.TypeTXT:
-		if reason, ok := d.correctTXT(u); ok {
+		if reason, ok := d.correctTXT(m, u); ok {
 			u.Category = CategoryCorrect
 			u.Reason = reason
 			return
@@ -69,7 +189,7 @@ func (d *Determiner) classify(u *UR) {
 	default:
 		// Extension types (MX, ...): exact match against the legitimate
 		// profile or passive DNS, mirroring the TXT rule.
-		if reason, ok := d.correctOther(u); ok {
+		if reason, ok := d.correctOther(m, u); ok {
 			u.Category = CategoryCorrect
 			u.Reason = reason
 			return
@@ -82,8 +202,8 @@ func (d *Determiner) classify(u *UR) {
 // of the subset conditions holds against the domain's legitimate profile,
 // when passive DNS saw it within the window, or when the HTTP content says
 // parked/redirect.
-func (d *Determiner) correctA(u *UR) (CorrectReason, bool) {
-	profile, _ := d.correct.Lookup(u.Domain)
+func (d *Determiner) correctA(m *detMemo, u *UR) (CorrectReason, bool) {
+	profile := d.lookupProfile(m, u.Domain)
 	addr, err := netip.ParseAddr(u.RData)
 	if err != nil {
 		return ReasonNone, false
@@ -103,18 +223,14 @@ func (d *Determiner) correctA(u *UR) (CorrectReason, bool) {
 			return ReasonCertSubset, true
 		}
 	}
-	if d.UsePDNS && d.cfg.PDNS != nil {
-		cutoff := d.cfg.Now.AddDate(-6, 0, 0)
-		if d.cfg.PDNS.Seen(u.Domain, dns.TypeA, u.RData, cutoff) {
-			return ReasonPDNS, true
-		}
+	if d.pdnsSeen(m, u.Domain, dns.TypeA, u.RData) {
+		return ReasonPDNS, true
 	}
 	if d.UseHTTPFilter && u.HTTP.Reachable {
-		body := strings.ToLower(u.HTTP.Body)
-		if strings.Contains(body, "parked") || strings.Contains(body, "parking") {
+		if asciiContainsFold(u.HTTP.Body, "parked") || asciiContainsFold(u.HTTP.Body, "parking") {
 			return ReasonParked, true
 		}
-		if u.HTTP.StatusCode/100 == 3 || strings.Contains(body, "redirecting") {
+		if u.HTTP.StatusCode/100 == 3 || asciiContainsFold(u.HTTP.Body, "redirecting") {
 			return ReasonRedirect, true
 		}
 	}
@@ -131,52 +247,123 @@ func (d *Determiner) onlyCountrySignal(p *DomainProfile) bool {
 
 // correctTXT excludes TXT URs that exactly match a legitimately observed
 // record or its PDNS history.
-func (d *Determiner) correctTXT(u *UR) (CorrectReason, bool) {
-	if profile, ok := d.correct.Lookup(u.Domain); ok && profile.TXTs[u.RData] {
+func (d *Determiner) correctTXT(m *detMemo, u *UR) (CorrectReason, bool) {
+	if profile := d.lookupProfile(m, u.Domain); profile != nil && profile.TXTs[u.RData] {
 		return ReasonTXTMatch, true
 	}
-	if d.UsePDNS && d.cfg.PDNS != nil {
-		cutoff := d.cfg.Now.AddDate(-6, 0, 0)
-		if d.cfg.PDNS.Seen(u.Domain, dns.TypeTXT, u.RData, cutoff) {
-			return ReasonPDNS, true
-		}
+	if d.pdnsSeen(m, u.Domain, dns.TypeTXT, u.RData) {
+		return ReasonPDNS, true
 	}
 	return ReasonNone, false
 }
 
 // correctOther excludes extension-type URs that exactly match a
 // legitimately observed record or history.
-func (d *Determiner) correctOther(u *UR) (CorrectReason, bool) {
-	if profile, ok := d.correct.Lookup(u.Domain); ok && profile.HasOther(u.Type, u.RData) {
+func (d *Determiner) correctOther(m *detMemo, u *UR) (CorrectReason, bool) {
+	if profile := d.lookupProfile(m, u.Domain); profile != nil && profile.HasOther(u.Type, u.RData) {
 		return ReasonTXTMatch, true
 	}
-	if d.UsePDNS && d.cfg.PDNS != nil {
-		cutoff := d.cfg.Now.AddDate(-6, 0, 0)
-		if d.cfg.PDNS.Seen(u.Domain, u.Type, u.RData, cutoff) {
-			return ReasonPDNS, true
-		}
+	if d.pdnsSeen(m, u.Domain, u.Type, u.RData) {
+		return ReasonPDNS, true
 	}
 	return ReasonNone, false
 }
 
 // --- TXT classification and IP extraction -------------------------------
 
-var (
-	reSPF   = regexp.MustCompile(`(?i)^"?v=spf1\b`)
-	reDMARC = regexp.MustCompile(`(?i)^"?v=dmarc1\b`)
-	reDKIM  = regexp.MustCompile(`(?i)\bv=dkim1\b`)
-	reVerif = regexp.MustCompile(`(?i)(site-verification|domain-verification|verification=|_verify)`)
-	reIPv4  = regexp.MustCompile(`\b(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})\b`)
-)
+// reVerif stays a regex: it is an alternation over mid-string keywords with
+// no cheap anchor, and it runs only on records that fell through the SPF /
+// DMARC / DKIM checks.
+var reVerif = regexp.MustCompile(`(?i)(site-verification|domain-verification|verification=|_verify)`)
 
-// ClassifyTXT buckets TXT rdata into the known categories of §4.2.
+// asciiLower folds one ASCII byte to lower case.
+func asciiLower(b byte) byte {
+	if 'A' <= b && b <= 'Z' {
+		return b + ('a' - 'A')
+	}
+	return b
+}
+
+// isWordByte mirrors RE2's ASCII \b word class: [0-9A-Za-z_].
+func isWordByte(b byte) bool {
+	return '0' <= b && b <= '9' || 'A' <= b && b <= 'Z' || 'a' <= b && b <= 'z' || b == '_'
+}
+
+// asciiContainsFold reports whether s contains sub under ASCII
+// case-folding, without allocating. Replaces strings.Contains(
+// strings.ToLower(s), sub), whose ToLower copies the full body per call.
+func asciiContainsFold(s, sub string) bool {
+	if len(sub) == 0 {
+		return true
+	}
+	c0 := asciiLower(sub[0])
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if asciiLower(s[i]) != c0 {
+			continue
+		}
+		j := 1
+		for ; j < len(sub); j++ {
+			if asciiLower(s[i+j]) != asciiLower(sub[j]) {
+				break
+			}
+		}
+		if j == len(sub) {
+			return true
+		}
+	}
+	return false
+}
+
+// hasTXTPrefixFold replicates the anchored `(?i)^"?v=...\b` TXT checks: an
+// optional leading quote, a case-folded prefix match, and a word boundary
+// after the prefix. prefix must be lower-case ASCII.
+func hasTXTPrefixFold(s, prefix string) bool {
+	if len(s) > 0 && s[0] == '"' {
+		s = s[1:]
+	}
+	if len(s) < len(prefix) {
+		return false
+	}
+	for i := 0; i < len(prefix); i++ {
+		if asciiLower(s[i]) != prefix[i] {
+			return false
+		}
+	}
+	return len(s) == len(prefix) || !isWordByte(s[len(prefix)])
+}
+
+// containsFoldWord replicates `(?i)\bword\b` for a lower-case ASCII word
+// whose first and last bytes are word bytes (v=dkim1).
+func containsFoldWord(s, word string) bool {
+	n := len(word)
+	for i := 0; i+n <= len(s); i++ {
+		if i > 0 && isWordByte(s[i-1]) {
+			continue
+		}
+		j := 0
+		for ; j < n; j++ {
+			if asciiLower(s[i+j]) != word[j] {
+				break
+			}
+		}
+		if j == n && (i+n == len(s) || !isWordByte(s[i+n])) {
+			return true
+		}
+	}
+	return false
+}
+
+// ClassifyTXT buckets TXT rdata into the known categories of §4.2. The SPF /
+// DMARC / DKIM checks are direct byte scans equivalent to the anchored
+// regexes they replaced (`^"?v=spf1\b`, `^"?v=dmarc1\b`, `\bv=dkim1\b`);
+// classify_test.go pins the equivalence over the fixture corpus.
 func ClassifyTXT(rdata string) TXTCategory {
 	switch {
-	case reSPF.MatchString(rdata):
+	case hasTXTPrefixFold(rdata, "v=spf1"):
 		return TXTSPF
-	case reDMARC.MatchString(rdata):
+	case hasTXTPrefixFold(rdata, "v=dmarc1"):
 		return TXTDMARC
-	case reDKIM.MatchString(rdata):
+	case containsFoldWord(rdata, "v=dkim1"):
 		return TXTDKIM
 	case reVerif.MatchString(rdata):
 		return TXTVerification
@@ -185,20 +372,68 @@ func ClassifyTXT(rdata string) TXTCategory {
 	}
 }
 
+func isDigit(b byte) bool { return '0' <= b && b <= '9' }
+
+// matchIPv4At matches `(\d{1,3}\.){3}\d{1,3}\b` at position i (the caller
+// has already checked the leading word boundary and first digit), returning
+// the exclusive end offset or -1. Greedy with no backtracking, which is
+// exactly the regex's effective behavior: every group byte is a digit, so
+// shrinking a group can never expose the '.' or boundary the pattern needs
+// next.
+func matchIPv4At(s string, i int) int {
+	p := i
+	for g := 0; g < 4; g++ {
+		if g > 0 {
+			if p >= len(s) || s[p] != '.' {
+				return -1
+			}
+			p++
+		}
+		n := 0
+		for n < 3 && p < len(s) && isDigit(s[p]) {
+			p++
+			n++
+		}
+		if n == 0 {
+			return -1
+		}
+	}
+	if p < len(s) && isWordByte(s[p]) {
+		return -1 // trailing \b
+	}
+	return p
+}
+
 // extractIPs pulls every plausible IPv4 address out of TXT rdata — SPF ip4:
 // mechanisms, bare addresses in encoded commands, DMARC rua hosts, etc.
+// A direct scanner equivalent to the old
+// `\b(\d{1,3})\.(\d{1,3})\.(\d{1,3})\.(\d{1,3})\b` FindAllString loop
+// (extract_test.go pins the equivalence): candidates that fail ParseAddr —
+// octets over 255, leading zeros — are skipped, and scanning resumes after
+// the match like the regex's non-overlapping walk.
 func extractIPs(rdata string) []netip.Addr {
 	var out []netip.Addr
-	seen := make(map[netip.Addr]bool)
-	for _, m := range reIPv4.FindAllString(rdata, -1) {
-		a, err := netip.ParseAddr(m)
-		if err != nil || !a.Is4() {
+	var seen map[netip.Addr]bool
+	for i := 0; i < len(rdata); {
+		if !isDigit(rdata[i]) || (i > 0 && isWordByte(rdata[i-1])) {
+			i++
 			continue
 		}
-		if !seen[a] {
-			seen[a] = true
-			out = append(out, a)
+		end := matchIPv4At(rdata, i)
+		if end < 0 {
+			i++
+			continue
 		}
+		if a, err := netip.ParseAddr(rdata[i:end]); err == nil && a.Is4() {
+			if seen == nil {
+				seen = make(map[netip.Addr]bool, 4)
+			}
+			if !seen[a] {
+				seen[a] = true
+				out = append(out, a)
+			}
+		}
+		i = end
 	}
 	return out
 }

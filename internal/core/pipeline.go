@@ -3,6 +3,8 @@ package core
 import (
 	"context"
 	"net/netip"
+	"sync"
+	"time"
 
 	"repro/internal/dns"
 	"repro/internal/dnsio"
@@ -28,6 +30,44 @@ type Result struct {
 	// collection sweeps: attempted vs answered probes, failures by class,
 	// re-queue recoveries, and circuit-breaker trips.
 	Coverage *Coverage
+
+	// Stages carries the overlapped pipeline's stage timings. Observational
+	// only — never rendered into reports, so byte-identity across parallelism
+	// settings is unaffected.
+	Stages *StageTimings
+}
+
+// StageTimings records how long each overlapped stage spent busy and the
+// run's wall-clock. Because the stages overlap, the per-stage durations can
+// sum past the wall time; that surplus is the overlap win.
+type StageTimings struct {
+	// Correct is the correct-record sweep's span (start of run → correct DB
+	// ready).
+	Correct time.Duration
+	// Nameservers is the fused protective+UR sweep's span.
+	Nameservers time.Duration
+	// Determine is the streaming classification span: from the moment the
+	// correct DB opened the gate until the last streamed batch was
+	// classified.
+	Determine time.Duration
+	// Analyze is the §4.3 labeling span.
+	Analyze time.Duration
+	// Wall is the whole run.
+	Wall time.Duration
+}
+
+// OverlapPercent reports how much stage work was hidden inside the wall
+// clock: 100 * (sum of stage spans - wall) / sum. Zero means fully serial;
+// larger is better.
+func (s *StageTimings) OverlapPercent() float64 {
+	if s == nil {
+		return 0
+	}
+	sum := s.Correct + s.Nameservers + s.Determine + s.Analyze
+	if sum <= 0 || s.Wall >= sum {
+		return 0
+	}
+	return 100 * float64(sum-s.Wall) / float64(sum)
 }
 
 // Pipeline chains the three URHunter components.
@@ -58,33 +98,146 @@ func (p *Pipeline) partial() *Result {
 	}
 }
 
-// Run executes collection, determination, and analysis. On error — including
-// context cancellation mid-sweep — the returned Result is non-nil and carries
-// the partial query/coverage books accumulated before the interruption.
+// Run executes collection, determination, and analysis as an overlapped
+// dataflow rather than five sequential barriers:
+//
+//	CollectCorrect ─────────┐ (gate: correct DB ready)
+//	                        ├─→ determine workers ──→ merge ─→ sort ─→ analyze
+//	fused NS sweep ── URs ──┘ (per-server batches)
+//	NewAnalyzer (IDS corpus) ───────────────────────────────────┘
+//
+// The correct-record sweep and the fused protective+UR nameserver sweep run
+// concurrently (disjoint endpoint sets). Each nameserver's UR batch streams
+// into a pool of classification workers the moment the server's fused job
+// finishes; the workers block only on the correct DB, so classification
+// overlaps the sweep tail. Results land in per-worker slices and are merged
+// through the same canonical sort the serial pipeline used, so reports are
+// byte-identical at any Parallelism/DetermineWorkers setting — resumed or
+// not.
+//
+// On error — including context cancellation mid-sweep — the returned Result
+// is non-nil and carries the partial query/coverage books accumulated before
+// the interruption.
 func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
-	correct, err := p.collector.CollectCorrect(ctx)
-	if err != nil {
-		return p.partial(), err
-	}
-	protective, err := p.collector.CollectProtective(ctx)
-	if err != nil {
-		return p.partial(), err
-	}
-	urs, err := p.collector.CollectURs(ctx)
-	if err != nil {
-		return p.partial(), err
-	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	t0 := time.Now()
+	st := &StageTimings{}
 
+	// The analyzer's IDS pass over the sandbox corpus depends on no sweep;
+	// build it while collection runs.
+	analyzerCh := make(chan *Analyzer, 1)
+	go func() { analyzerCh <- NewAnalyzer(p.Cfg) }()
+
+	protective := NewProtectiveDB()
 	if p.Determiner == nil {
-		p.Determiner = NewDeterminer(p.Cfg, correct, protective)
+		p.Determiner = NewDeterminer(p.Cfg, nil, protective)
 	} else {
-		p.Determiner.correct = correct
+		p.Determiner.correct = nil
 		p.Determiner.protective = protective
 	}
-	suspicious := p.Determiner.Determine(urs)
+	det := p.Determiner
 
-	analyzer := NewAnalyzer(p.Cfg)
-	analyzer.Analyze(suspicious)
+	var (
+		correct    *CorrectDB
+		correctErr error
+		nsErr      error
+		gateAt     time.Time
+	)
+	correctDone := make(chan struct{})
+	stream := make(chan []*UR, streamBacklog)
+
+	var sweeps sync.WaitGroup
+	sweeps.Add(2)
+	go func() {
+		defer sweeps.Done()
+		db, err := p.collector.CollectCorrect(ctx)
+		st.Correct = time.Since(t0)
+		correct, correctErr = db, err
+		// det.correct must be visible before the gate opens; the channel
+		// close is the happens-before edge the workers synchronize on.
+		det.correct = db
+		gateAt = time.Now()
+		close(correctDone)
+		if err != nil {
+			cancel()
+		}
+	}()
+	go func() {
+		defer sweeps.Done()
+		defer close(stream)
+		nsErr = p.collector.collectNameservers(ctx, protective, func(batch []*UR) {
+			if len(batch) > 0 {
+				stream <- batch
+			}
+		})
+		st.Nameservers = time.Since(t0)
+		if nsErr != nil {
+			cancel()
+		}
+	}()
+
+	// Streaming determination: a server's batch is classifiable once the
+	// correct DB exists — its protective records were finalized by its own
+	// fused job before the batch was emitted. Workers always drain the
+	// stream, even on error, so the sweep's emits never block forever.
+	workers := p.Cfg.determineWorkers()
+	shards := make([][]*UR, workers)
+	var dwg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		dwg.Add(1)
+		go func(i int) {
+			defer dwg.Done()
+			<-correctDone
+			var local []*UR
+			var memo *detMemo
+			if det.correct != nil {
+				memo = newDetMemo()
+			}
+			for batch := range stream {
+				if memo != nil {
+					for _, u := range batch {
+						p.collector.enrichOne(u)
+						det.classifyMemo(memo, u)
+					}
+				}
+				local = append(local, batch...)
+			}
+			shards[i] = local
+		}(i)
+	}
+	sweeps.Wait()
+	dwg.Wait()
+	st.Determine = time.Since(gateAt)
+
+	if err := pickErr(correctErr, nsErr, ctx.Err()); err != nil {
+		return p.partial(), err
+	}
+
+	n := 0
+	for _, s := range shards {
+		n += len(s)
+	}
+	var urs []*UR
+	if n > 0 {
+		urs = make([]*UR, 0, n)
+		for _, s := range shards {
+			urs = append(urs, s...)
+		}
+	}
+	sortURs(urs)
+	var suspicious []*UR
+	for _, u := range urs {
+		if u.Category == CategoryUnknown {
+			suspicious = append(suspicious, u)
+		}
+	}
+
+	analyzer := <-analyzerCh
+	ta := time.Now()
+	analyzer.AnalyzeParallel(suspicious, workers)
+	st.Analyze = time.Since(ta)
+	st.Wall = time.Since(t0)
 
 	return &Result{
 		URs:        urs,
@@ -94,6 +247,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 		Analyzer:   analyzer,
 		Queries:    p.collector.Queries(),
 		Coverage:   p.collector.Coverage(),
+		Stages:     st,
 	}, nil
 }
 

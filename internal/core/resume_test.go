@@ -104,9 +104,13 @@ func TestResumeByteIdenticalAcrossCuts(t *testing.T) {
 			if err != nil {
 				t.Fatalf("cut %d: resume failed: %v", cut, err)
 			}
-			if !j2.Resumed() || j2.ReplayedAnswered() == 0 {
-				t.Fatalf("cut %d: resume replayed nothing (resumed=%v, answered=%d)",
-					cut, j2.Resumed(), j2.ReplayedAnswered())
+			// The overlapped sweeps race for the journal's first appends, so a
+			// small cut may hold only failure records (the faulted nameservers
+			// fail fast while the correct sweep is still answering); replayed
+			// state of either kind proves the resume took.
+			if !j2.Resumed() || j2.ReplayedAnswered()+j2.ReplayedFailures() == 0 {
+				t.Fatalf("cut %d: resume replayed nothing (resumed=%v, answered=%d, failed=%d)",
+					cut, j2.Resumed(), j2.ReplayedAnswered(), j2.ReplayedFailures())
 			}
 			if got := renderRecords(res); got != want {
 				t.Errorf("cut %d: resumed report differs from uninterrupted run:\n--- resumed ---\n%s--- baseline ---\n%s",

@@ -1,0 +1,268 @@
+// Streaming stage plumbing for the overlapped pipeline: the fused
+// nameserver-facing sweep that emits per-server UR batches as they finalize,
+// and the error selection that keeps a root cause visible when one stage's
+// failure cancels its siblings.
+//
+// Determinism note. Chaos fault draws are pure hashes of (fabric seed,
+// endpoint, per-endpoint exchange sequence), so a run is reproducible exactly
+// when the order of exchanges to each endpoint is a pure function of the
+// configuration. The fused sweep preserves that by construction: one worker
+// owns a nameserver for its whole job — canary probes first, then the
+// shuffled targets, then the in-job canary retry — so the endpoint's exchange
+// sequence never depends on scheduling. The correct-record sweep runs
+// concurrently but touches only resolver endpoints, which are disjoint from
+// the nameserver set; its re-queue pass uses its own watchdog spare slot so
+// the two tails can overlap too.
+package core
+
+import (
+	"context"
+	"errors"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/dns"
+	"repro/internal/dnsio"
+)
+
+// streamBacklog bounds the UR batch channel between the fused sweep and the
+// determine workers. Batches buffer here while the correct sweep (the
+// determine gate) is still running; a full buffer back-pressures the sweep,
+// which only delays emission and never reorders any endpoint's exchanges.
+const streamBacklog = 64
+
+// pickErr returns the most diagnostic of the stage errors: the first one
+// that is not itself a cancellation (a journal write failure, say, whose
+// cancel then swept through the sibling stages), else the first non-nil.
+func pickErr(errs ...error) error {
+	var fallback error
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if fallback == nil {
+			fallback = err
+		}
+		if !errors.Is(err, context.Canceled) && !errors.Is(err, context.DeadlineExceeded) {
+			return err
+		}
+	}
+	return fallback
+}
+
+// collectNameservers is the overlapped pipeline's fused nameserver sweep:
+// protective-canary collection and UR collection in one pass. Each
+// nameserver is one job — canary probes, then every non-delegated target,
+// then one in-job retry of the job's own failed canary probes — so a
+// server's protective records are final before its URs are emitted, and the
+// determine stage can classify a batch as soon as the correct database is
+// ready, without waiting for the rest of the sweep.
+//
+// Probes are booked and journaled under their original sweep kinds
+// (sweepProtective / sweepURs), so coverage accounting, the failure book,
+// and journal resume are indistinguishable from the serial sweeps'.
+func (c *Collector) collectNameservers(ctx context.Context, db *ProtectiveDB, emit func([]*UR)) error {
+	canary := c.cfg.CanaryName()
+	c.replaySweep(sweepProtective, func(ns NameserverInfo, _ dns.Name, qt dns.Type, resp *dns.Message) {
+		addProtectiveAnswers(db, ns.Addr, qt, resp)
+	})
+	var replayed []*UR
+	c.replaySweep(sweepURs, func(ns NameserverInfo, domain dns.Name, qt dns.Type, resp *dns.Message) {
+		replayed = c.ursFromResponse(ns, domain, qt, resp, replayed)
+	})
+	emit(replayed)
+
+	c.wd.start()
+	defer c.wd.stop()
+
+	jobs := make(chan NameserverInfo)
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var firstErr error
+	var stop atomic.Bool
+
+	workers := c.cfg.parallelism()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		// The fused pool gets the watchdog slot range [workers, 2*workers),
+		// leaving [0, workers) to the concurrently running correct sweep.
+		go func(slot *stallSlot) {
+			defer wg.Done()
+			seg, localErr := c.newSegment()
+			if seg != nil {
+				defer c.releaseSegment(seg)
+			}
+			if localErr != nil {
+				stop.Store(true)
+			}
+			for ns := range jobs {
+				if localErr != nil {
+					continue // keep draining so the feeder never blocks
+				}
+				urs, err := c.collectNSFused(ctx, ns, canary, db, seg, slot)
+				if err != nil {
+					localErr = err
+					stop.Store(true)
+					continue
+				}
+				emit(urs)
+			}
+			if localErr != nil {
+				mu.Lock()
+				if firstErr == nil {
+					firstErr = localErr
+				}
+				mu.Unlock()
+			}
+		}(c.wd.slot(workers + w))
+	}
+	feed(ctx, jobs, &stop, c.cfg.Nameservers)
+	wg.Wait()
+	if firstErr == nil {
+		firstErr = ctx.Err()
+	}
+	if firstErr != nil {
+		return firstErr
+	}
+	// End-of-sweep re-queue of the failed UR probes (canary probes had their
+	// in-job retry). Every NS job is done, so these retries are the only
+	// remaining traffic to the nameserver endpoints and their per-endpoint
+	// order — canonical, single goroutine — is deterministic.
+	var recovered []*UR
+	err := c.requeueOn(ctx, sweepURs, c.wd.slot(2*workers+1), func(f probeFailure, resp *dns.Message) {
+		recovered = c.ursFromResponse(f.ns, f.domain, f.qtype, resp, recovered)
+	})
+	if err != nil {
+		return err
+	}
+	emit(recovered)
+	return nil
+}
+
+// collectNSFused runs one nameserver's fused job. The exchange order to this
+// endpoint — canary, targets, canary retry — is a pure function of the
+// configuration, which is what keeps chaos runs reproducible (see the
+// package comment above).
+func (c *Collector) collectNSFused(ctx context.Context, ns NameserverInfo, canary dns.Name, db *ProtectiveDB, seg *segmentWriter, slot *stallSlot) ([]*UR, error) {
+	server := netip.AddrPortFrom(ns.Addr, dnsio.DNSPort)
+	var issued, attempted, answered, recovered int64
+	var fails []probeFailure       // UR failures, for the end-of-sweep re-queue
+	var canaryFails []probeFailure // protective failures, retried in-job
+	defer func() {
+		c.addQueries(ns.Addr, issued)
+		c.bookSweep(ns.Addr, attempted, answered, recovered, append(fails, canaryFails...))
+	}()
+
+	// Phase 1: protective canary probes — the endpoint's first exchanges,
+	// exactly as the serial CollectProtective sweep issues them.
+	for _, qt := range c.cfg.queryTypes() {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if c.replayed(sweepProtective, ns.Addr, canary, qt) {
+			continue
+		}
+		issued++
+		attempted++
+		resp, wire, class, err := c.probeQuery(ctx, slot, seg, server, canary, qt)
+		if err != nil {
+			canaryFails = append(canaryFails, probeFailure{
+				ns: ns, domain: canary, qtype: qt,
+				class: class, sweep: sweepProtective,
+			})
+			if seg != nil {
+				if jerr := seg.failure(sweepProtective, ns.Addr, canary, qt, class); jerr != nil {
+					return nil, jerr
+				}
+			}
+			continue
+		}
+		answered++
+		if seg != nil {
+			if jerr := seg.answered(sweepProtective, ns.Addr, canary, qt, wire); jerr != nil {
+				return nil, jerr
+			}
+		}
+		addProtectiveAnswers(db, ns.Addr, qt, resp)
+	}
+
+	// Phase 2: the UR sweep over this server's shuffled targets.
+	var out []*UR
+	for _, target := range c.shuffledTargets(ns.Addr) {
+		if c.isExactlyDelegated(target, ns) {
+			continue
+		}
+		for _, qt := range c.cfg.queryTypes() {
+			if err := ctx.Err(); err != nil {
+				return out, err
+			}
+			if c.replayed(sweepURs, ns.Addr, target, qt) {
+				continue
+			}
+			issued++
+			attempted++
+			resp, wire, class, err := c.probeQuery(ctx, slot, seg, server, target, qt)
+			if err != nil {
+				fails = append(fails, probeFailure{
+					ns: ns, domain: target, qtype: qt,
+					class: class, sweep: sweepURs,
+				})
+				if seg != nil {
+					if jerr := seg.failure(sweepURs, ns.Addr, target, qt, class); jerr != nil {
+						return out, jerr
+					}
+				}
+				continue
+			}
+			answered++
+			if seg != nil {
+				if jerr := seg.answered(sweepURs, ns.Addr, target, qt, wire); jerr != nil {
+					return out, jerr
+				}
+			}
+			out = c.ursFromResponse(ns, target, qt, resp, out)
+		}
+	}
+
+	// Phase 3: one in-job retry of this job's failed canary probes. The UR
+	// phase put tens of exchanges between the failure and the retry, giving
+	// flap windows and breakers the same chance to recover that the serial
+	// pipeline's end-of-sweep re-queue provides — without letting another
+	// goroutine interleave on this endpoint. A server's protective set is
+	// therefore final when its job ends, which is what lets the caller emit
+	// the job's URs for immediate classification.
+	if len(canaryFails) > 0 {
+		var remaining []probeFailure
+		for i, f := range canaryFails {
+			if err := ctx.Err(); err != nil {
+				canaryFails = append(remaining, canaryFails[i:]...)
+				return out, err
+			}
+			issued++
+			resp, wire, class, err := c.probeQuery(ctx, slot, seg, server, f.domain, f.qtype)
+			if err != nil {
+				f.class = class
+				remaining = append(remaining, f)
+				if seg != nil {
+					if jerr := seg.failure(sweepProtective, ns.Addr, f.domain, f.qtype, class); jerr != nil {
+						canaryFails = append(remaining, canaryFails[i+1:]...)
+						return out, jerr
+					}
+				}
+				continue
+			}
+			answered++
+			recovered++
+			if seg != nil {
+				if jerr := seg.answered(sweepProtective, ns.Addr, f.domain, f.qtype, wire); jerr != nil {
+					canaryFails = append(remaining, canaryFails[i+1:]...)
+					return out, jerr
+				}
+			}
+			addProtectiveAnswers(db, ns.Addr, f.qtype, resp)
+		}
+		canaryFails = remaining
+	}
+	return out, nil
+}

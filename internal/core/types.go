@@ -245,28 +245,34 @@ func (db *CorrectDB) Domains() []dns.Name {
 	return out
 }
 
+// protectiveKey is the (server, type, rdata) identity of one protective
+// record. A comparable struct rather than a formatted string: Match runs
+// once per collected UR, and the fmt.Sprintf key it replaced was one of the
+// pipeline's top allocation sites.
+type protectiveKey struct {
+	server netip.Addr
+	t      dns.Type
+	rdata  string
+}
+
 // ProtectiveDB holds the protective records observed per nameserver, keyed
 // by (server, type, rdata).
 type ProtectiveDB struct {
 	mu      sync.RWMutex
-	records map[string]bool
+	records map[protectiveKey]bool
 	perNS   map[netip.Addr]int
 }
 
 // NewProtectiveDB creates an empty database.
 func NewProtectiveDB() *ProtectiveDB {
-	return &ProtectiveDB{records: make(map[string]bool), perNS: make(map[netip.Addr]int)}
-}
-
-func protectiveKey(server netip.Addr, t dns.Type, rdata string) string {
-	return fmt.Sprintf("%s|%d|%s", server, uint16(t), rdata)
+	return &ProtectiveDB{records: make(map[protectiveKey]bool), perNS: make(map[netip.Addr]int)}
 }
 
 // Add records a protective (server, type, rdata) observation.
 func (db *ProtectiveDB) Add(server netip.Addr, t dns.Type, rdata string) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
-	k := protectiveKey(server, t, rdata)
+	k := protectiveKey{server: server, t: t, rdata: rdata}
 	if !db.records[k] {
 		db.records[k] = true
 		db.perNS[server]++
@@ -277,7 +283,7 @@ func (db *ProtectiveDB) Add(server netip.Addr, t dns.Type, rdata string) {
 func (db *ProtectiveDB) Match(server netip.Addr, t dns.Type, rdata string) bool {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	return db.records[protectiveKey(server, t, rdata)]
+	return db.records[protectiveKey{server: server, t: t, rdata: rdata}]
 }
 
 // ProtectiveServers returns how many nameservers serve protective records.

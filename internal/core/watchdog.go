@@ -93,6 +93,7 @@ type watchdog struct {
 	stalls   atomic.Int64
 
 	mu     sync.Mutex
+	active int // refcount of running sweeps sharing the scanner
 	stopCh chan struct{}
 }
 
@@ -116,7 +117,7 @@ func newWatchdog(workers int, budget time.Duration, cfg *WatchdogConfig) *watchd
 		}
 	}
 	return &watchdog{
-		slots:    make([]stallSlot, workers+1), // +1: the re-queue pass
+		slots:    make([]stallSlot, workers+1), // +1: a re-queue pass slot
 		deadline: deadline,
 		interval: interval,
 		grace:    cfg.grace(),
@@ -131,14 +132,16 @@ func (w *watchdog) slot(i int) *stallSlot {
 	return &w.slots[i]
 }
 
-// start launches the scanning goroutine; balanced by stop. Safe to call per
-// sweep — the collector's sweeps run sequentially.
+// start launches the scanning goroutine; balanced by stop. The start/stop
+// pair is refcounted because the overlapped pipeline runs sweeps
+// concurrently: the scanner stays up until the last sweep stops.
 func (w *watchdog) start() {
 	if w == nil {
 		return
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
+	w.active++
 	if w.stopCh != nil {
 		return
 	}
@@ -147,14 +150,18 @@ func (w *watchdog) start() {
 	go w.scanLoop(stop)
 }
 
-// stop terminates the scanning goroutine.
+// stop releases one start; the scanning goroutine terminates when the last
+// concurrent sweep has stopped.
 func (w *watchdog) stop() {
 	if w == nil {
 		return
 	}
 	w.mu.Lock()
 	defer w.mu.Unlock()
-	if w.stopCh != nil {
+	if w.active > 0 {
+		w.active--
+	}
+	if w.active == 0 && w.stopCh != nil {
 		close(w.stopCh)
 		w.stopCh = nil
 	}
