@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"sync"
 	"testing"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dns"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/hosting"
 	"repro/internal/sandbox"
 	"repro/internal/simnet"
+	"repro/internal/urwatch"
 )
 
 var (
@@ -254,6 +256,64 @@ func BenchmarkAnalyzeParallel(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(suspicious))*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
 	b.ReportMetric(float64(workers), "workers")
+}
+
+// BenchmarkServeVerdicts measures the URWatch DNSBL front-end: one sealed
+// generation of real pipeline verdicts hammered from all procs with the
+// serving query mix (listed A/TXT, reversed-IP, generation marker, unlisted
+// NXDOMAIN). serve_qps and serve_p99_ms are the CI-gated feed SLOs.
+func BenchmarkServeVerdicts(b *testing.B) {
+	env := benchSetup(b)
+	store := urwatch.NewStore()
+	store.Publish(urwatch.SnapshotFromResult(env.Result, 1, time.Unix(0, 0)))
+	if store.Current().Total() == 0 {
+		b.Fatal("empty generation")
+	}
+	const apex = dns.Name("feed.test")
+	zr := &urwatch.ZoneResponder{Apex: apex, Store: store, Cache: urwatch.NewResponseCache(0)}
+
+	var listedDomain dns.Name
+	var listedIP netip.Addr
+	for _, u := range env.Result.URs {
+		if u.Type == dns.TypeA && len(u.CorrespondingIPs) > 0 {
+			listedDomain, listedIP = u.Domain, u.CorrespondingIPs[0]
+			break
+		}
+	}
+	if listedDomain == "" {
+		b.Fatal("no A-record UR in the bench world")
+	}
+	revName, ok := urwatch.ReverseIPName(listedIP, apex)
+	if !ok {
+		b.Fatalf("unreversible IP %s", listedIP)
+	}
+	queries := []*dns.Message{
+		dns.NewQuery(1, urwatch.DomainName(listedDomain, apex), dns.TypeA),
+		dns.NewQuery(2, urwatch.DomainName(listedDomain, apex), dns.TypeTXT),
+		dns.NewQuery(3, revName, dns.TypeA),
+		dns.NewQuery(4, "gen."+apex, dns.TypeTXT),
+		dns.NewQuery(5, urwatch.DomainName("unlisted.example", apex), dns.TypeA),
+	}
+	hist := urwatch.NewLatencyHistogram(100_000) // 100ms ceiling
+	src := netip.MustParseAddr("10.7.7.7")
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i int
+		for pb.Next() {
+			q := queries[i%len(queries)]
+			i++
+			t0 := time.Now()
+			resp := zr.HandleQuery(src, q)
+			hist.Observe(time.Since(t0))
+			if resp.Header.RCode == dns.RCodeRefused || resp.Header.RCode == dns.RCodeServFail {
+				b.Fatalf("dropped verdict: rcode %s", resp.Header.RCode)
+			}
+		}
+	})
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "serve_qps")
+	b.ReportMetric(float64(hist.Quantile(0.99).Nanoseconds())/1e6, "serve_p99_ms")
 }
 
 // --- substrate microbenches ----------------------------------------------

@@ -28,6 +28,7 @@ import (
 	"repro/internal/dns"
 	"repro/internal/dnsio"
 	"repro/internal/simnet"
+	"repro/internal/urwatch"
 )
 
 // benchResult is one benchmark's summary in the output file.
@@ -52,6 +53,10 @@ func main() {
 	seed := flag.Int64("seed", 7, "world generation seed")
 	gatePct := flag.Float64("max-journal-overhead-pct", 0,
 		"exit 1 if JournaledPipeline's journal_overhead_% exceeds this (0 disables the gate)")
+	minServeQPS := flag.Float64("min-serve-qps", 0,
+		"exit 1 if ServeVerdicts' serve_qps falls below this (0 disables the gate)")
+	maxServeP99 := flag.Float64("max-serve-p99-ms", 0,
+		"exit 1 if ServeVerdicts' serve_p99_ms exceeds this (0 disables the gate)")
 	flag.Parse()
 
 	env, err := repro.NewEnv(context.Background(), repro.TinyScale(), *seed)
@@ -314,6 +319,61 @@ func main() {
 		}
 		b.ReportMetric(float64(queries)*float64(b.N)/b.Elapsed().Seconds(), "queries/sec")
 	})
+	// ServeVerdicts measures the URWatch DNSBL front-end over one sealed
+	// generation of real pipeline verdicts, hammered from all procs with the
+	// serving query mix. serve_qps / serve_p99_ms feed the CI serving gates.
+	run("ServeVerdicts", func(b *testing.B) {
+		res, err := repro.NewPipeline(env.World).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := urwatch.NewStore()
+		store.Publish(urwatch.SnapshotFromResult(res, 1, time.Unix(0, 0)))
+		const apex = dns.Name("feed.test")
+		zr := &urwatch.ZoneResponder{Apex: apex, Store: store, Cache: urwatch.NewResponseCache(0)}
+		var listedDomain dns.Name
+		var listedIP netip.Addr
+		for _, u := range res.URs {
+			if u.Type == dns.TypeA && len(u.CorrespondingIPs) > 0 {
+				listedDomain, listedIP = u.Domain, u.CorrespondingIPs[0]
+				break
+			}
+		}
+		if listedDomain == "" {
+			b.Fatal("no A-record UR in the bench world")
+		}
+		revName, ok := urwatch.ReverseIPName(listedIP, apex)
+		if !ok {
+			b.Fatalf("unreversible IP %s", listedIP)
+		}
+		queries := []*dns.Message{
+			dns.NewQuery(1, urwatch.DomainName(listedDomain, apex), dns.TypeA),
+			dns.NewQuery(2, urwatch.DomainName(listedDomain, apex), dns.TypeTXT),
+			dns.NewQuery(3, revName, dns.TypeA),
+			dns.NewQuery(4, "gen."+apex, dns.TypeTXT),
+			dns.NewQuery(5, urwatch.DomainName("unlisted.example", apex), dns.TypeA),
+		}
+		hist := urwatch.NewLatencyHistogram(100_000)
+		src := netip.MustParseAddr("10.7.7.7")
+		b.ReportAllocs()
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			var i int
+			for pb.Next() {
+				q := queries[i%len(queries)]
+				i++
+				t0 := time.Now()
+				resp := zr.HandleQuery(src, q)
+				hist.Observe(time.Since(t0))
+				if resp.Header.RCode == dns.RCodeRefused || resp.Header.RCode == dns.RCodeServFail {
+					b.Fatalf("dropped verdict: rcode %s", resp.Header.RCode)
+				}
+			}
+		})
+		b.StopTimer()
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "serve_qps")
+		b.ReportMetric(float64(hist.Quantile(0.99).Nanoseconds())/1e6, "serve_p99_ms")
+	})
 	run("DNSPackUnpack", func(b *testing.B) {
 		m := dns.NewQuery(1, "www.example.com", dns.TypeA).Reply()
 		m.Answers = append(m.Answers,
@@ -396,5 +456,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "journal overhead gate: %.2f%% <= %.2f%%\n", got, *gatePct)
+	}
+	if *minServeQPS > 0 {
+		got, ok := rep.Benchmarks["ServeVerdicts"].Extra["serve_qps"]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchjson: gate: ServeVerdicts reported no serve_qps")
+			os.Exit(1)
+		}
+		if got < *minServeQPS {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: serve_qps %.0f below the %.0f floor\n", got, *minServeQPS)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serve qps gate: %.0f >= %.0f\n", got, *minServeQPS)
+	}
+	if *maxServeP99 > 0 {
+		got, ok := rep.Benchmarks["ServeVerdicts"].Extra["serve_p99_ms"]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchjson: gate: ServeVerdicts reported no serve_p99_ms")
+			os.Exit(1)
+		}
+		if got > *maxServeP99 {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: serve_p99_ms %.3f exceeds the %.3f limit\n", got, *maxServeP99)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "serve p99 gate: %.3fms <= %.3fms\n", got, *maxServeP99)
 	}
 }

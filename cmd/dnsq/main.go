@@ -5,6 +5,9 @@
 // Usage:
 //
 //	dnsq @server:port name [type]     query a server
+//	dnsq -json @server:port name [type]
+//	                                  same, but emit the response as one
+//	                                  JSON document (for scripts and jq)
 //	dnsq -demo [name [type]]          start an in-process authoritative
 //	                                  server on loopback, query it, exit
 //
@@ -16,6 +19,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net/netip"
@@ -30,6 +34,7 @@ import (
 
 func main() {
 	demo := flag.Bool("demo", false, "serve and query a demo zone on loopback")
+	flag.BoolVar(&jsonOut, "json", false, "emit responses as JSON instead of dig-style text")
 	flag.Parse()
 	args := flag.Args()
 
@@ -82,14 +87,74 @@ func parseNameType(args []string) (dns.Name, dns.Type, error) {
 	return name, qtype, nil
 }
 
+// jsonOut selects machine-readable output for both direct and demo queries.
+var jsonOut bool
+
+// jsonRR is the wire form of one resource record in -json output.
+type jsonRR struct {
+	Name  string `json:"name"`
+	TTL   uint32 `json:"ttl"`
+	Class string `json:"class"`
+	Type  string `json:"type"`
+	Data  string `json:"data"`
+}
+
+// jsonResponse is the -json document for one query exchange.
+type jsonResponse struct {
+	Server     string         `json:"server"`
+	ID         uint16         `json:"id"`
+	RCode      string         `json:"rcode"`
+	Flags      map[string]bool `json:"flags"`
+	Question   []string       `json:"question"`
+	Answers    []jsonRR       `json:"answers"`
+	Authority  []jsonRR       `json:"authority,omitempty"`
+	Additional []jsonRR       `json:"additional,omitempty"`
+}
+
+func jsonRRs(rrs []dns.RR) []jsonRR {
+	out := make([]jsonRR, 0, len(rrs))
+	for _, rr := range rrs {
+		out = append(out, jsonRR{
+			Name:  rr.Name.String(),
+			TTL:   rr.TTL,
+			Class: rr.Class.String(),
+			Type:  rr.Type().String(),
+			Data:  rr.Data.String(),
+		})
+	}
+	return out
+}
+
 func query(server netip.AddrPort, name dns.Name, qtype dns.Type) error {
 	client := dnsio.NewClient(&dnsio.NetTransport{})
 	resp, err := client.Query(context.Background(), server, name, qtype)
 	if err != nil {
 		return err
 	}
-	fmt.Print(resp.Summary())
-	return nil
+	if !jsonOut {
+		fmt.Print(resp.Summary())
+		return nil
+	}
+	doc := jsonResponse{
+		Server: server.String(),
+		ID:     resp.Header.ID,
+		RCode:  resp.Header.RCode.String(),
+		Flags: map[string]bool{
+			"aa": resp.Header.Authoritative,
+			"tc": resp.Header.Truncated,
+			"rd": resp.Header.RecursionDesired,
+			"ra": resp.Header.RecursionAvailable,
+		},
+		Answers:    jsonRRs(resp.Answers),
+		Authority:  jsonRRs(resp.Authority),
+		Additional: jsonRRs(resp.Additional),
+	}
+	for _, q := range resp.Questions {
+		doc.Question = append(doc.Question, q.String())
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 func runDemo(args []string) error {

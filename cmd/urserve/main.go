@@ -14,16 +14,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"net"
 	"os"
-	"os/signal"
 	"strconv"
 	"syscall"
+	"time"
 
 	"repro"
-	"repro/internal/dnsio"
+	"repro/internal/urwatch"
 )
 
 func main() {
@@ -68,28 +69,32 @@ func main() {
 	if *count > len(nameservers) {
 		*count = len(nameservers)
 	}
-	var servers []*dnsio.Server
+	// One serve group holds every listener: a port collision partway through
+	// the increment loop drains the already-started servers and exits with a
+	// clean error instead of leaking them, and the shutdown path below
+	// drains in-flight queries before the process exits.
+	var group urwatch.ServeGroup
 	for i := 0; i < *count; i++ {
 		ns := nameservers[i]
-		srv := dnsio.NewServer(ns.Server())
 		addr := net.JoinHostPort(host, strconv.Itoa(port+i))
-		if err := srv.Start(addr); err != nil {
-			fmt.Fprintf(os.Stderr, "urserve: listen %s: %v\n", addr, err)
+		srv, err := group.StartDNS(ns.Server(), addr)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urserve: %v\n", err)
 			os.Exit(1)
 		}
-		servers = append(servers, srv)
 		fmt.Printf("%s (%s in the simulation) now answering on udp/tcp %s\n",
 			ns.Host.String(), ns.Addr, srv.UDPAddr())
 	}
 	fmt.Printf("\n%d hosted domains on %s; try:\n", len(provider.HostedDomains()), provider.Name)
 	fmt.Printf("  dig @%s -p %d ibm.com A\n", host, port)
 	fmt.Printf("  dig @%s -p %d speedtest.net TXT\n", host, port)
-	fmt.Println("\nctrl-c to stop")
+	fmt.Println("\nctrl-c to stop (drains in-flight queries; second ctrl-c hard-exits)")
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
-	<-sig
-	for _, srv := range servers {
-		_ = srv.Close()
+	urwatch.AwaitSignal(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := group.Drain(ctx); err != nil {
+		fmt.Fprintf(os.Stderr, "urserve: drain: %v\n", err)
+		os.Exit(1)
 	}
 }

@@ -1,0 +1,321 @@
+// Command urwatchd is the continuous UR monitoring daemon: it re-sweeps a
+// generated world on an interval, publishes each sweep as a verdict-store
+// generation, and serves the verdicts two ways —
+//
+//   - an HTTP/JSON API (lookup by domain/IP/provider, event tail, coverage
+//     and health) on -http, and
+//   - a DNSBL-style DNS zone on -dns, queryable with stock tools:
+//
+//     dig @127.0.0.1 -p 5354 ibm.com.urwatch.feed.urwatch.test TXT
+//     dig @127.0.0.1 -p 5354 gen.feed.urwatch.test TXT
+//
+// Between generations the differ appends ur_appeared / ur_removed /
+// class_changed events to the event log, served at /v1/events.
+//
+// Usage:
+//
+//	urwatchd [-scale tiny] [-seed 42] [-interval 30s] [-sweeps 0]
+//	         [-http 127.0.0.1:8053] [-dns 127.0.0.1:5354]
+//	         [-apex feed.urwatch.test] [-rate 0] [-burst 0] [-cache 8192]
+//	         [-journal dir] [-smoke 0]
+//
+// With -journal, each sweep checkpoints into dir and the next sweep replays
+// answered probes instead of re-querying them — incremental sweeps. With
+// -smoke N, the daemon self-tests: N concurrent HTTP and N DNS clients
+// hammer both front-ends across the configured number of sweeps, assert no
+// 5xx / REFUSED / torn generation, then the daemon drains and exits.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/netip"
+	"os"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/dns"
+	"repro/internal/dnsio"
+	"repro/internal/urwatch"
+)
+
+func main() {
+	scaleName := flag.String("scale", "tiny", "world scale: tiny, small, or paper")
+	seed := flag.Int64("seed", 42, "world generation seed")
+	interval := flag.Duration("interval", 30*time.Second, "pause between sweeps")
+	sweeps := flag.Int("sweeps", 0, "stop after N successful sweeps (0 = run forever)")
+	httpAddr := flag.String("http", "127.0.0.1:8053", "HTTP/JSON API listen address (empty disables)")
+	dnsAddr := flag.String("dns", "127.0.0.1:5354", "DNSBL zone listen address (empty disables)")
+	apex := flag.String("apex", "feed.urwatch.test", "DNSBL zone apex")
+	rate := flag.Float64("rate", 0, "per-client queries/sec (0 = unlimited)")
+	burst := flag.Float64("burst", 0, "per-client burst (0 = 2x rate)")
+	cacheCap := flag.Int("cache", urwatch.DefaultCacheCap, "response cache entries per front-end")
+	journalDir := flag.String("journal", "", "checkpoint sweeps into this directory (incremental sweeps)")
+	smoke := flag.Int("smoke", 0, "self-test with N concurrent HTTP and N DNS clients, then exit")
+	flag.Parse()
+
+	if err := run(*scaleName, *seed, *interval, *sweeps, *httpAddr, *dnsAddr,
+		*apex, *rate, *burst, *cacheCap, *journalDir, *smoke); err != nil {
+		fmt.Fprintf(os.Stderr, "urwatchd: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(scaleName string, seed int64, interval time.Duration, sweeps int,
+	httpAddr, dnsAddr, apexStr string, rate, burst float64, cacheCap int,
+	journalDir string, smoke int) error {
+
+	scale, ok := repro.ScaleByName(scaleName)
+	if !ok {
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	apex, err := dns.ParseName(apexStr)
+	if err != nil {
+		return fmt.Errorf("bad apex: %w", err)
+	}
+	fmt.Printf("generating %s world (seed %d)...\n", scaleName, seed)
+	world, err := repro.GenerateWorld(scale, seed)
+	if err != nil {
+		return err
+	}
+
+	sweep := func(ctx context.Context) (*core.Result, error) {
+		if journalDir == "" {
+			return repro.NewPipeline(world).Run(ctx)
+		}
+		pipe, j, err := repro.NewJournaledPipeline(world, journalDir, repro.JournalOptions{})
+		if err != nil {
+			return nil, err
+		}
+		defer j.Close()
+		return pipe.Run(ctx)
+	}
+
+	watcher := urwatch.NewWatcher(urwatch.WatcherConfig{
+		Sweep:    sweep,
+		Interval: interval,
+		OnGeneration: func(g *urwatch.Generation, d *urwatch.GenDiff) {
+			fmt.Printf("generation %d: %d verdicts, %d events (gen %d -> %d)\n",
+				g.Seq, g.Total(), len(d.Events), d.FromSeq, d.ToSeq)
+		},
+	})
+
+	// First sweep runs before the listeners open, so the front-ends never
+	// serve the empty generation 0 to a real client.
+	fmt.Println("initial sweep...")
+	if _, err := watcher.SweepOnce(context.Background()); err != nil {
+		return fmt.Errorf("initial sweep: %w", err)
+	}
+
+	var limiter *urwatch.RateLimiter
+	if rate > 0 {
+		if burst <= 0 {
+			burst = 2 * rate
+		}
+		limiter = urwatch.NewRateLimiter(rate, burst, nil)
+	}
+
+	var group urwatch.ServeGroup
+	if dnsAddr != "" {
+		zr := &urwatch.ZoneResponder{
+			Apex:    apex,
+			Store:   watcher.Store(),
+			Limiter: limiter,
+			Cache:   urwatch.NewResponseCache(cacheCap),
+		}
+		srv, err := group.StartDNS(zr, dnsAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("DNSBL zone %s on udp/tcp %s\n", apex, srv.UDPAddr())
+		dnsAddr = srv.UDPAddr().String()
+	}
+	if httpAddr != "" {
+		api := &urwatch.API{
+			Store:   watcher.Store(),
+			Watcher: watcher,
+			Limiter: limiter,
+			Cache:   urwatch.NewResponseCache(cacheCap),
+		}
+		addr, err := group.StartHTTP(api.Handler(), httpAddr)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("HTTP API on http://%s/v1/\n", addr)
+		httpAddr = addr.String()
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	watcherDone := make(chan error, 1)
+	go func() { watcherDone <- watcher.Run(ctx, sweeps) }()
+
+	var smokeErr error
+	if smoke > 0 {
+		smokeErr = runSmoke(ctx, watcher, httpAddr, dnsAddr, apex, smoke, sweeps)
+		cancel()
+	} else {
+		fmt.Println("serving; ctrl-c to drain and exit")
+		urwatch.AwaitSignal(ctx, os.Interrupt, syscall.SIGTERM)
+		cancel()
+	}
+
+	<-watcherDone
+	drainCtx, drainCancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer drainCancel()
+	if err := group.Drain(drainCtx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	fmt.Println("drained cleanly")
+	return smokeErr
+}
+
+// runSmoke hammers both front-ends with concurrent clients while the
+// watcher publishes generations, asserting the serving invariants: no 5xx,
+// no REFUSED, and every response's generation within the [before, after]
+// window of its request — i.e. a reader sees generation N or N+1, never a
+// torn in-between.
+func runSmoke(ctx context.Context, watcher *urwatch.Watcher,
+	httpAddr, dnsAddr string, apex dns.Name, clients, sweeps int) error {
+
+	if sweeps <= 0 {
+		sweeps = 3
+	}
+	fmt.Printf("smoke: %d HTTP + %d DNS clients across %d sweeps\n",
+		clients, clients, sweeps)
+
+	var (
+		httpReqs, dnsReqs atomic.Int64
+		violations        atomic.Int64
+		mu                sync.Mutex
+		firstViolation    string
+	)
+	violate := func(format string, args ...any) {
+		violations.Add(1)
+		mu.Lock()
+		if firstViolation == "" {
+			firstViolation = fmt.Sprintf(format, args...)
+		}
+		mu.Unlock()
+	}
+	genWindow := func(before uint64, got uint64) bool {
+		return got >= before && got <= watcher.Store().Current().Seq
+	}
+
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for ctx.Err() == nil {
+			if watcher.Health().Sweeps >= sweeps {
+				return
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	if httpAddr != "" {
+		paths := []string{"/v1/providers", "/v1/health", "/v1/coverage",
+			"/v1/events?since=0&max=10", "/v1/lookup?domain=ibm.com"}
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				cli := &http.Client{Timeout: 5 * time.Second}
+				for i := 0; ; i++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					before := watcher.Store().Current().Seq
+					url := "http://" + httpAddr + paths[i%len(paths)]
+					resp, err := cli.Get(url)
+					if err != nil {
+						violate("http client %d: %v", c, err)
+						return
+					}
+					body, _ := io.ReadAll(resp.Body)
+					resp.Body.Close()
+					httpReqs.Add(1)
+					if resp.StatusCode >= 500 {
+						violate("http %s: status %d", url, resp.StatusCode)
+						continue
+					}
+					var env struct {
+						Generation uint64 `json:"generation"`
+					}
+					if json.Unmarshal(body, &env) == nil && env.Generation > 0 &&
+						!genWindow(before, env.Generation) {
+						violate("http %s: torn generation %d (window started at %d)",
+							url, env.Generation, before)
+					}
+				}
+			}(c)
+		}
+	}
+	if dnsAddr != "" {
+		server, err := netip.ParseAddrPort(dnsAddr)
+		if err != nil {
+			return fmt.Errorf("smoke: bad dns addr: %w", err)
+		}
+		names := []struct {
+			name dns.Name
+			t    dns.Type
+		}{
+			{"gen." + apex, dns.TypeTXT},
+			{urwatch.DomainName("ibm.com", apex), dns.TypeA},
+			{urwatch.DomainName("ibm.com", apex), dns.TypeTXT},
+			{"unlisted.example.urwatch." + apex, dns.TypeA},
+		}
+		for c := 0; c < clients; c++ {
+			wg.Add(1)
+			go func(c int) {
+				defer wg.Done()
+				cli := dnsio.NewClient(&dnsio.NetTransport{})
+				for i := 0; ; i++ {
+					select {
+					case <-done:
+						return
+					default:
+					}
+					q := names[i%len(names)]
+					qctx, qcancel := context.WithTimeout(context.Background(), 5*time.Second)
+					resp, err := cli.Query(qctx, server, q.name, q.t)
+					qcancel()
+					if err != nil {
+						violate("dns client %d: %v", c, err)
+						return
+					}
+					dnsReqs.Add(1)
+					if resp.Header.RCode == dns.RCodeRefused ||
+						resp.Header.RCode == dns.RCodeServFail {
+						violate("dns %s %s: rcode %s", q.name, q.t, resp.Header.RCode)
+					}
+				}
+			}(c)
+		}
+	}
+
+	wg.Wait()
+	fmt.Printf("smoke: %d HTTP + %d DNS requests served across %d generations, %d violations\n",
+		httpReqs.Load(), dnsReqs.Load(), watcher.Store().Current().Seq, violations.Load())
+	if v := violations.Load(); v > 0 {
+		return fmt.Errorf("smoke: %d violations; first: %s", v, firstViolation)
+	}
+	if httpAddr != "" && httpReqs.Load() == 0 {
+		return fmt.Errorf("smoke: no HTTP requests completed")
+	}
+	if dnsAddr != "" && dnsReqs.Load() == 0 {
+		return fmt.Errorf("smoke: no DNS requests completed")
+	}
+	return nil
+}

@@ -4,18 +4,22 @@
 // reputable provider (①), malware on a victim machine retrieves it with a
 // direct DNS query (③), the traffic slips past a reputation engine and a
 // resolution-path firewall (④), and the C2 connection succeeds (⑤). The
-// same attack is then replayed against a provider that adopted the §6
-// ownership-verification mitigation — and dies at step ①.
+// same attack is then replayed with two countermeasures: a URWatch sweep
+// whose verdict feed backs the firewall (⑥ — the flow dies at the feed
+// check), and a provider that adopted the §6 ownership-verification
+// mitigation (the attack dies at step ①).
 //
 //	go run ./examples/covertchannel
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"net/netip"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/defense"
 	"repro/internal/dns"
 	"repro/internal/hosting"
@@ -26,6 +30,7 @@ import (
 	"repro/internal/resolver"
 	"repro/internal/sandbox"
 	"repro/internal/simnet"
+	"repro/internal/urwatch"
 )
 
 func main() {
@@ -82,7 +87,7 @@ func main() {
 
 	providerNS := hz.NS[0].Addr
 	sample := &sandbox.Sample{
-		Name: "demo-trojan", Family: "Demo",
+		Name: "specter-implant", Family: "Specter",
 		Behavior: func(env sandbox.Env) error {
 			resp, err := env.QueryDNS(providerNS, "trusted.com", dns.TypeA)
 			if err != nil {
@@ -92,7 +97,7 @@ func main() {
 			if !ok {
 				return fmt.Errorf("no UR answer")
 			}
-			return env.ConnectTCP(dst, 443, "c2-checkin demo")
+			return env.ConnectTCP(dst, 443, "c2-checkin specter")
 		},
 	}
 	report := sb.Run(sample)
@@ -115,6 +120,52 @@ func main() {
 	fmt.Printf("⑤ C2 reached: %v — the UR rode the reputation of the domain AND the provider\n\n",
 		outcome.C2Reached)
 
+	// --- step ⑥: a URWatch feed closes the blind spot ---------------------
+	// A defender running the measurement continuously knows the one fact
+	// neither baseline sees: trusted.com has an undelegated record at this
+	// provider. One sweep over the mini world, published as a verdict-store
+	// generation, and the same firewall consults the feed.
+	vantage, _ := ipdb.Allocate(victimASN)
+	var nsInfos []core.NameserverInfo
+	for _, ns := range provider.Nameservers() {
+		nsInfos = append(nsInfos, core.NameserverInfo{
+			Addr: ns.Addr, Host: ns.Host, Provider: provider.Name})
+	}
+	cfg := &core.Config{
+		Fabric: fabric, IPDB: ipdb, SrcAddr: vantage,
+		Targets: []dns.Name{"trusted.com"}, Nameservers: nsInfos,
+		DelegatedNS: reg.Delegation, Now: time.Now(), Seed: 3,
+	}
+	watcher := urwatch.NewWatcher(urwatch.WatcherConfig{
+		Sweep: func(ctx context.Context) (*core.Result, error) {
+			return core.NewPipeline(cfg).Run(ctx)
+		},
+	})
+	diff, err := watcher.SweepOnce(context.Background())
+	if err != nil {
+		log.Fatalf("urwatch sweep: %v", err)
+	}
+	gen := watcher.Store().Current()
+	fmt.Printf("⑥ URWatch sweep published generation %d: %d verdicts, %d new events\n",
+		gen.Seq, gen.Total(), len(diff.Events))
+	for _, v := range gen.Domain("trusted.com") {
+		fmt.Printf("   listed: %s %s -> %s at %s (%s), class %s\n",
+			v.Domain, v.Type, v.RData, v.Server, v.Provider, v.Category)
+		break // one representative line; one UR per provider nameserver
+	}
+	// No vendor has flagged the fresh C2 yet, so the UR is merely
+	// "suspicious" — the strict blocker refuses listed URs the analyzer
+	// could not clear.
+	fb := &defense.FeedBlocker{Feed: &urwatch.Feed{Store: watcher.Store()},
+		BlockSuspicious: true}
+	outcome2 := defense.EvaluateReportWithFeed(report, rep, fw, fb, nil)
+	fmt.Printf("   feed-backed firewall replay: blocked %d/%d DNS flows, %d/%d connections\n",
+		outcome2.BlockedDNS, outcome2.TotalDNS, outcome2.BlockedConns, outcome2.TotalConns)
+	if len(outcome2.BlockedVerdicts) > 0 {
+		fmt.Printf("   first verdict: %s\n", outcome2.BlockedVerdicts[0].Reason)
+	}
+	fmt.Printf("   C2 reached: %v\n\n", outcome2.C2Reached)
+
 	// --- the §6 mitigation: ownership verification ------------------------
 	fixed := hosting.PresetClouDNS()
 	fixed.Name = "ClouDNS (post-disclosure)"
@@ -136,7 +187,7 @@ func main() {
 	fmt.Printf("mitigation: %s verifies NS delegation; attacker zone served = %v\n",
 		fixedProvider.Name, hz2.Served())
 	sample2 := &sandbox.Sample{
-		Name: "demo-trojan-2", Family: "Demo",
+		Name: "specter-implant-2", Family: "Specter",
 		Behavior: func(env sandbox.Env) error {
 			resp, err := env.QueryDNS(hz2.NS[0].Addr, "trusted.com", dns.TypeA)
 			if err != nil {

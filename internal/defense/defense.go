@@ -166,51 +166,10 @@ type Outcome struct {
 	BlockedVerdicts []Verdict
 }
 
-// EvaluateReport runs both defenses over a sandbox report. legitDirect
-// marks DNS servers that are legitimate direct-query targets (public
-// resolvers configured by the user) for collateral accounting.
+// EvaluateReport runs both baseline defenses over a sandbox report.
+// legitDirect marks DNS servers that are legitimate direct-query targets
+// (public resolvers configured by the user) for collateral accounting.
 func EvaluateReport(rep *sandbox.Report, repEng *ReputationEngine, fw *PathFirewall,
 	legitDirect map[netip.Addr]bool) Outcome {
-	var out Outcome
-	blockedIPs := make(map[netip.Addr]bool)
-
-	for _, rec := range rep.DNS {
-		out.TotalDNS++
-		v := repEng.EvaluateDNS(rec.Question.Name, rec.Server)
-		if !v.Blocked && fw != nil {
-			v = fw.EvaluateDNSFlow(rec)
-		}
-		if v.Blocked {
-			out.BlockedDNS++
-			out.BlockedVerdicts = append(out.BlockedVerdicts, v)
-			if legitDirect[rec.Server] {
-				out.CollateralHits++
-			}
-			// Answers from a blocked resolution are unusable.
-			for _, rr := range rec.Answers {
-				if a, ok := rr.Data.(*dns.A); ok {
-					blockedIPs[a.Addr] = true
-				}
-			}
-		}
-	}
-	for _, fl := range rep.Flows {
-		if fl.Proto == sandbox.ProtoDNS {
-			continue
-		}
-		out.TotalConns++
-		v := repEng.EvaluateConnection(fl.Dst)
-		if v.Blocked || blockedIPs[fl.Dst] {
-			out.BlockedConns++
-			if !v.Blocked {
-				v = block("destination learned via blocked resolution")
-			}
-			out.BlockedVerdicts = append(out.BlockedVerdicts, v)
-			continue
-		}
-		if fl.Answered {
-			out.C2Reached = true
-		}
-	}
-	return out
+	return EvaluateReportWithFeed(rep, repEng, fw, nil, legitDirect)
 }

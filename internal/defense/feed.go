@@ -1,0 +1,116 @@
+package defense
+
+import (
+	"net/netip"
+
+	"repro/internal/core"
+	"repro/internal/dns"
+	"repro/internal/sandbox"
+)
+
+// URFeed is a live source of UR verdicts — in practice the urwatch verdict
+// store, but any oracle with the same shape works. It closes the blind spot
+// both baselines share: a reputation engine has no score for a fresh domain
+// on a reputable provider's server, and a path firewall cannot distinguish
+// "direct query to a provider nameserver" from legitimate custom-resolver
+// use. The feed knows the third thing neither sees — that this exact
+// (domain, server) pair hosts an undelegated record.
+type URFeed interface {
+	// FlowListed reports whether (domain, server) is a listed UR serving
+	// point and the worst category among its records.
+	FlowListed(domain dns.Name, server netip.Addr) (core.Category, bool)
+	// IPListed reports whether dst is a corresponding IP of any listed UR.
+	IPListed(dst netip.Addr) (core.Category, bool)
+}
+
+// FeedBlocker turns feed verdicts into flow decisions.
+type FeedBlocker struct {
+	Feed URFeed
+	// BlockSuspicious also blocks CategoryUnknown listings — URs the
+	// analyzer could not clear. Off, only CategoryMalicious blocks, so
+	// protective and correct URs (the bulk of the feed) pass untouched.
+	BlockSuspicious bool
+}
+
+// blocks reports whether a listed category warrants blocking.
+func (b *FeedBlocker) blocks(c core.Category) bool {
+	if c == core.CategoryMalicious {
+		return true
+	}
+	return b.BlockSuspicious && c == core.CategoryUnknown
+}
+
+// EvaluateDNS judges one DNS flow against the feed.
+func (b *FeedBlocker) EvaluateDNS(domain dns.Name, server netip.Addr) Verdict {
+	if b == nil || b.Feed == nil {
+		return Allow
+	}
+	if c, ok := b.Feed.FlowListed(domain, server); ok && b.blocks(c) {
+		return block("UR feed lists " + string(domain) + " at " + server.String() + " as " + c.String())
+	}
+	return Allow
+}
+
+// EvaluateConnection judges a non-DNS flow by destination.
+func (b *FeedBlocker) EvaluateConnection(dst netip.Addr) Verdict {
+	if b == nil || b.Feed == nil {
+		return Allow
+	}
+	if c, ok := b.Feed.IPListed(dst); ok && b.blocks(c) {
+		return block("UR feed lists destination " + dst.String() + " as " + c.String())
+	}
+	return Allow
+}
+
+// EvaluateReportWithFeed runs the baseline defenses plus a feed-backed
+// blocker over a sandbox report. A nil fb degenerates to EvaluateReport.
+func EvaluateReportWithFeed(rep *sandbox.Report, repEng *ReputationEngine, fw *PathFirewall,
+	fb *FeedBlocker, legitDirect map[netip.Addr]bool) Outcome {
+	var out Outcome
+	blockedIPs := make(map[netip.Addr]bool)
+
+	for _, rec := range rep.DNS {
+		out.TotalDNS++
+		v := repEng.EvaluateDNS(rec.Question.Name, rec.Server)
+		if !v.Blocked && fw != nil {
+			v = fw.EvaluateDNSFlow(rec)
+		}
+		if !v.Blocked {
+			v = fb.EvaluateDNS(rec.Question.Name, rec.Server)
+		}
+		if v.Blocked {
+			out.BlockedDNS++
+			out.BlockedVerdicts = append(out.BlockedVerdicts, v)
+			if legitDirect[rec.Server] {
+				out.CollateralHits++
+			}
+			for _, rr := range rec.Answers {
+				if a, ok := rr.Data.(*dns.A); ok {
+					blockedIPs[a.Addr] = true
+				}
+			}
+		}
+	}
+	for _, fl := range rep.Flows {
+		if fl.Proto == sandbox.ProtoDNS {
+			continue
+		}
+		out.TotalConns++
+		v := repEng.EvaluateConnection(fl.Dst)
+		if !v.Blocked {
+			v = fb.EvaluateConnection(fl.Dst)
+		}
+		if v.Blocked || blockedIPs[fl.Dst] {
+			out.BlockedConns++
+			if !v.Blocked {
+				v = block("destination learned via blocked resolution")
+			}
+			out.BlockedVerdicts = append(out.BlockedVerdicts, v)
+			continue
+		}
+		if fl.Answered {
+			out.C2Reached = true
+		}
+	}
+	return out
+}

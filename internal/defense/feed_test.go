@@ -1,0 +1,130 @@
+package defense
+
+import (
+	"net/netip"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dns"
+	"repro/internal/sandbox"
+)
+
+// stubFeed is a fixed-verdict URFeed.
+type stubFeed struct {
+	flows map[string]core.Category // "domain|server"
+	ips   map[netip.Addr]core.Category
+}
+
+func (f *stubFeed) FlowListed(domain dns.Name, server netip.Addr) (core.Category, bool) {
+	c, ok := f.flows[string(domain)+"|"+server.String()]
+	return c, ok
+}
+
+func (f *stubFeed) IPListed(dst netip.Addr) (core.Category, bool) {
+	c, ok := f.ips[dst]
+	return c, ok
+}
+
+// urReport models the UR C2 flow: direct DNS to a provider nameserver for a
+// reputable domain, then a TCP connection to the answered IP.
+func urReport(providerNS, c2 netip.Addr) *sandbox.Report {
+	return &sandbox.Report{
+		DNS: []sandbox.DNSRecord{{
+			Server:   providerNS,
+			Direct:   true,
+			Question: dns.Question{Name: "trusted.com", Type: dns.TypeA, Class: dns.ClassINET},
+			Answers:  []dns.RR{dns.MustParseRR("trusted.com 120 IN A " + c2.String())},
+		}},
+		Flows: []sandbox.Flow{
+			{Proto: sandbox.ProtoDNS, Dst: providerNS, Answered: true},
+			{Proto: sandbox.ProtoTCP, Dst: c2, DstPort: 443, Answered: true},
+		},
+	}
+}
+
+func TestFeedBlockerStopsURFlowBaselinesMiss(t *testing.T) {
+	providerNS := netip.MustParseAddr("192.0.2.53")
+	c2 := netip.MustParseAddr("198.51.100.66")
+	rep := NewReputationEngine()
+	rep.SetDomainReputation("trusted.com", 0.97)
+	rep.SetServerReputation(providerNS, 0.93)
+	fw := NewPathFirewall(netip.MustParseAddr("10.0.0.2"))
+	report := urReport(providerNS, c2)
+
+	// Baselines alone: the UR C2 flow sails through.
+	base := EvaluateReport(report, rep, fw, nil)
+	if !base.C2Reached || base.BlockedDNS != 0 {
+		t.Fatalf("baseline outcome changed: %+v (the blind spot this test assumes)", base)
+	}
+
+	feed := &stubFeed{flows: map[string]core.Category{
+		"trusted.com|" + providerNS.String(): core.CategoryMalicious,
+	}}
+	out := EvaluateReportWithFeed(report, rep, fw, &FeedBlocker{Feed: feed}, nil)
+	if out.BlockedDNS != 1 {
+		t.Errorf("feed-backed BlockedDNS = %d, want 1", out.BlockedDNS)
+	}
+	if out.BlockedConns != 1 {
+		t.Errorf("feed-backed BlockedConns = %d, want 1 (answer IP unusable)", out.BlockedConns)
+	}
+	if out.C2Reached {
+		t.Error("C2 reached despite feed listing the (domain, server) pair")
+	}
+}
+
+func TestFeedBlockerSuspiciousPolicy(t *testing.T) {
+	providerNS := netip.MustParseAddr("192.0.2.53")
+	c2 := netip.MustParseAddr("198.51.100.66")
+	feed := &stubFeed{flows: map[string]core.Category{
+		"trusted.com|" + providerNS.String(): core.CategoryUnknown,
+	}}
+	rep := NewReputationEngine()
+	report := urReport(providerNS, c2)
+
+	// Default policy: unknown (merely suspicious) listings pass.
+	lax := EvaluateReportWithFeed(report, rep, nil, &FeedBlocker{Feed: feed}, nil)
+	if lax.BlockedDNS != 0 || !lax.C2Reached {
+		t.Errorf("default policy blocked a suspicious-only listing: %+v", lax)
+	}
+	// Strict policy blocks what the analyzer could not clear.
+	strict := EvaluateReportWithFeed(report, rep, nil,
+		&FeedBlocker{Feed: feed, BlockSuspicious: true}, nil)
+	if strict.BlockedDNS != 1 || strict.C2Reached {
+		t.Errorf("strict policy missed the suspicious listing: %+v", strict)
+	}
+}
+
+func TestFeedBlockerIPListing(t *testing.T) {
+	c2 := netip.MustParseAddr("198.51.100.66")
+	feed := &stubFeed{ips: map[netip.Addr]core.Category{c2: core.CategoryMalicious}}
+	rep := NewReputationEngine()
+	// Connection-only report: the destination was learned out of band.
+	report := &sandbox.Report{Flows: []sandbox.Flow{
+		{Proto: sandbox.ProtoTCP, Dst: c2, DstPort: 443, Answered: true},
+	}}
+	out := EvaluateReportWithFeed(report, rep, nil, &FeedBlocker{Feed: feed}, nil)
+	if out.BlockedConns != 1 || out.C2Reached {
+		t.Errorf("IP listing not enforced: %+v", out)
+	}
+}
+
+func TestFeedBlockerNilSafe(t *testing.T) {
+	var fb *FeedBlocker
+	if v := fb.EvaluateDNS("a.test", netip.MustParseAddr("192.0.2.1")); v.Blocked {
+		t.Error("nil blocker blocked a DNS flow")
+	}
+	if v := fb.EvaluateConnection(netip.MustParseAddr("192.0.2.1")); v.Blocked {
+		t.Error("nil blocker blocked a connection")
+	}
+	// Protective and correct listings never block.
+	feed := &stubFeed{flows: map[string]core.Category{
+		"a.test|192.0.2.1": core.CategoryProtective,
+		"b.test|192.0.2.1": core.CategoryCorrect,
+	}}
+	b := &FeedBlocker{Feed: feed, BlockSuspicious: true}
+	for _, d := range []dns.Name{"a.test", "b.test"} {
+		if v := b.EvaluateDNS(d, netip.MustParseAddr("192.0.2.1")); v.Blocked {
+			t.Errorf("benign listing %s blocked: %+v", d, v)
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package urwatch
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// ResponseCache memoizes rendered answers for the hot names both front-ends
+// see under load. Entries are valid for exactly one generation: the cache
+// key space is (generation seq, query key), and a Get or Put carrying a
+// newer seq flushes everything from the older generation. That ties cache
+// coherence to the same linearization point as the store itself — a cached
+// answer can never leak a retired generation's verdicts past a swap.
+type ResponseCache struct {
+	mu  sync.Mutex
+	gen uint64
+	m   map[string]any
+	cap int
+
+	hits   atomic.Int64
+	misses atomic.Int64
+}
+
+// DefaultCacheCap bounds cached entries per front-end.
+const DefaultCacheCap = 8192
+
+// NewResponseCache builds a cache holding up to cap entries (cap <= 0
+// selects DefaultCacheCap).
+func NewResponseCache(cap int) *ResponseCache {
+	if cap <= 0 {
+		cap = DefaultCacheCap
+	}
+	return &ResponseCache{m: make(map[string]any), cap: cap}
+}
+
+// Get returns the cached value for key under generation gen.
+func (c *ResponseCache) Get(gen uint64, key string) (any, bool) {
+	if c == nil {
+		return nil, false
+	}
+	c.mu.Lock()
+	if gen != c.gen {
+		c.flushLocked(gen)
+	}
+	v, ok := c.m[key]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return v, ok
+}
+
+// Put stores a value for key under generation gen. A full cache is flushed
+// wholesale — entries are cheap to rebuild from the immutable generation,
+// and wholesale flushing keeps the lock hold time flat.
+func (c *ResponseCache) Put(gen uint64, key string, v any) {
+	if c == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if gen != c.gen {
+		c.flushLocked(gen)
+	}
+	if len(c.m) >= c.cap {
+		c.m = make(map[string]any, c.cap/4)
+	}
+	c.m[key] = v
+}
+
+func (c *ResponseCache) flushLocked(gen uint64) {
+	c.gen = gen
+	c.m = make(map[string]any, len(c.m))
+}
+
+// Stats returns cumulative hit/miss counters.
+func (c *ResponseCache) Stats() (hits, misses int64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,235 @@
+package urwatch
+
+import (
+	"sort"
+	"sync"
+
+	"repro/internal/core"
+)
+
+// EventKind names one verdict-feed change.
+type EventKind string
+
+// Event kinds.
+const (
+	// EventAppeared: a UR identity present in generation N+1 but not N.
+	EventAppeared EventKind = "ur_appeared"
+	// EventRemoved: a UR identity present in generation N but not N+1.
+	EventRemoved EventKind = "ur_removed"
+	// EventReclassified: same identity, different category (e.g. a suspicious
+	// record gaining threat-intel evidence between sweeps).
+	EventReclassified EventKind = "class_changed"
+)
+
+// Event is one append-only feed change. Seq is assigned by the EventLog at
+// append time; the differ leaves it zero.
+type Event struct {
+	Seq  uint64    `json:"seq"`
+	Gen  uint64    `json:"generation"`
+	Kind EventKind `json:"kind"`
+
+	Key      string `json:"key"`
+	Domain   string `json:"domain"`
+	Type     string `json:"type"`
+	RData    string `json:"rdata"`
+	Server   string `json:"server"`
+	Provider string `json:"provider"`
+
+	// Old and New are the categories before/after. Appeared events carry only
+	// New; removed events only Old.
+	Old string `json:"old,omitempty"`
+	New string `json:"new,omitempty"`
+}
+
+// ProviderDelta aggregates one provider's changes across a generation swap.
+type ProviderDelta struct {
+	Appeared     int `json:"appeared"`
+	Removed      int `json:"removed"`
+	Reclassified int `json:"reclassified"`
+}
+
+// GenDiff is the complete delta between two consecutive generations.
+type GenDiff struct {
+	FromSeq    uint64                   `json:"from_seq"`
+	ToSeq      uint64                   `json:"to_seq"`
+	Events     []Event                  `json:"events"`
+	ByProvider map[string]ProviderDelta `json:"by_provider"`
+}
+
+// Diff computes the from-scratch delta between two generations. Because both
+// indexes shard keys by domain hash, the walk pairs shard i of prev with
+// shard i of next and never consults the other shards. Events come out in
+// canonical key order, so the diff of the same two generations is always
+// byte-identical — the property the event log's consumers (and the
+// acceptance test) rely on.
+func Diff(prev, next *Generation) *GenDiff {
+	d := &GenDiff{ByProvider: make(map[string]ProviderDelta)}
+	if prev != nil {
+		d.FromSeq = prev.Seq
+	}
+	if next != nil {
+		d.ToSeq = next.Seq
+	}
+	for i := 0; i < genShards; i++ {
+		var pk, nk map[string]*Verdict
+		if prev != nil {
+			pk = prev.shards[i].byKey
+		}
+		if next != nil {
+			nk = next.shards[i].byKey
+		}
+		for key, nv := range nk {
+			pv, had := pk[key]
+			if !had {
+				d.add(eventFor(EventAppeared, nv, "", nv.Category.String()))
+				continue
+			}
+			if pv.Category != nv.Category {
+				d.add(eventFor(EventReclassified, nv, pv.Category.String(), nv.Category.String()))
+			}
+		}
+		for key, pv := range pk {
+			if _, still := nk[key]; !still {
+				d.add(eventFor(EventRemoved, pv, pv.Category.String(), ""))
+			}
+		}
+	}
+	sort.Slice(d.Events, func(i, j int) bool {
+		a, b := d.Events[i], d.Events[j]
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.Kind < b.Kind
+	})
+	for i := range d.Events {
+		d.Events[i].Gen = d.ToSeq
+	}
+	return d
+}
+
+func eventFor(kind EventKind, v *Verdict, old, new_ string) Event {
+	return Event{
+		Kind:     kind,
+		Key:      v.Key(),
+		Domain:   string(v.Domain),
+		Type:     v.Type.String(),
+		RData:    v.RData,
+		Server:   v.Server.String(),
+		Provider: v.Provider,
+		Old:      old,
+		New:      new_,
+	}
+}
+
+func (d *GenDiff) add(e Event) {
+	d.Events = append(d.Events, e)
+	pd := d.ByProvider[e.Provider]
+	switch e.Kind {
+	case EventAppeared:
+		pd.Appeared++
+	case EventRemoved:
+		pd.Removed++
+	case EventReclassified:
+		pd.Reclassified++
+	}
+	d.ByProvider[e.Provider] = pd
+}
+
+// Same reports whether two diffs describe the same changes (sequence stamps
+// excluded — the log assigns those at append time).
+func (d *GenDiff) Same(o *GenDiff) bool {
+	if len(d.Events) != len(o.Events) {
+		return false
+	}
+	for i := range d.Events {
+		a, b := d.Events[i], o.Events[i]
+		a.Seq, b.Seq = 0, 0
+		if a != b {
+			return false
+		}
+	}
+	return true
+}
+
+// EventLog is the append-only history of feed changes. Appends stamp each
+// event with a global monotonically increasing sequence number; Since serves
+// the tail for pollers. The log also retains per-generation provider deltas.
+type EventLog struct {
+	mu      sync.RWMutex
+	events  []Event
+	nextSeq uint64
+	deltas  []GenDiff // events elided; summaries only
+	// cap bounds retained events; older entries are dropped from the head
+	// (pollers that fell behind resync from a full generation instead).
+	cap int
+}
+
+// DefaultEventLogCap bounds the retained event tail.
+const DefaultEventLogCap = 65536
+
+// NewEventLog creates an empty log.
+func NewEventLog() *EventLog {
+	return &EventLog{nextSeq: 1, cap: DefaultEventLogCap}
+}
+
+// Append stamps and retains a diff's events.
+func (l *EventLog) Append(d *GenDiff) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range d.Events {
+		d.Events[i].Seq = l.nextSeq
+		l.nextSeq++
+	}
+	l.events = append(l.events, d.Events...)
+	if over := len(l.events) - l.cap; over > 0 {
+		l.events = append([]Event(nil), l.events[over:]...)
+	}
+	l.deltas = append(l.deltas, GenDiff{
+		FromSeq: d.FromSeq, ToSeq: d.ToSeq, ByProvider: d.ByProvider,
+	})
+}
+
+// Since returns up to max events with Seq > after, oldest first. max <= 0
+// means no limit. truncated reports whether older matching events were
+// already evicted (the caller should resync from the current generation).
+func (l *EventLog) Since(after uint64, max int) (events []Event, truncated bool) {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	if len(l.events) > 0 && l.events[0].Seq > after+1 {
+		truncated = true
+	}
+	i := sort.Search(len(l.events), func(i int) bool { return l.events[i].Seq > after })
+	tail := l.events[i:]
+	if max > 0 && len(tail) > max {
+		tail = tail[:max]
+	}
+	return append([]Event(nil), tail...), truncated
+}
+
+// Len returns the retained event count.
+func (l *EventLog) Len() int {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return len(l.events)
+}
+
+// LastSeq returns the highest assigned sequence number (0 if none).
+func (l *EventLog) LastSeq() uint64 {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return l.nextSeq - 1
+}
+
+// Deltas returns the per-generation provider-delta summaries, oldest first.
+func (l *EventLog) Deltas() []GenDiff {
+	l.mu.RLock()
+	defer l.mu.RUnlock()
+	return append([]GenDiff(nil), l.deltas...)
+}
+
+// worstOf is a convenience for front-ends: the worst category over a set,
+// defaulting to correct when empty.
+func worstOf(vs []*Verdict) core.Category {
+	c, _ := WorstCategory(vs)
+	return c
+}

@@ -1,0 +1,242 @@
+package urwatch
+
+import (
+	"fmt"
+	"net/netip"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dns"
+)
+
+// The DNSBL front-end serves the verdict feed as an authoritative DNS zone,
+// so stock resolvers, mail filters, and firewalls consume it with the
+// queries they already know how to send:
+//
+//	<reversed-ipv4>.urbl.<apex>   A/TXT — is this address a UR destination?
+//	<domain>.urwatch.<apex>       A/TXT — does this domain carry URs?
+//	gen.<apex>                    TXT   — current generation + counts
+//
+// Listed names answer A 127.0.0.<code> (DNSBL convention: codes start at 2)
+// and TXT evidence strings; unlisted names get NXDOMAIN with the zone SOA.
+// Every response is built from a single generation dereference, and every
+// TXT answer's first string carries "gen=<seq>", so a client can verify it
+// never observed a torn mix of two generations.
+
+// DNSBL response codes, per category (127.0.0.<code>).
+const (
+	CodeMalicious  = 2
+	CodeSuspicious = 3
+	CodeProtective = 4
+	CodeCorrect    = 5
+)
+
+// categoryCode maps a classification to its DNSBL answer code.
+func categoryCode(c core.Category) int {
+	switch c {
+	case core.CategoryMalicious:
+		return CodeMalicious
+	case core.CategoryUnknown:
+		return CodeSuspicious
+	case core.CategoryProtective:
+		return CodeProtective
+	default:
+		return CodeCorrect
+	}
+}
+
+// maxTXTEvidence caps the per-answer evidence records so a heavily listed
+// name cannot balloon responses past the TCP limit.
+const maxTXTEvidence = 8
+
+// ZoneResponder serves the feed zone. It implements dnsio.Responder, so it
+// attaches to real UDP/TCP sockets via dnsio.Server or to the simulated
+// fabric via dnsio.AttachSim.
+type ZoneResponder struct {
+	// Apex roots the feed zone, e.g. "feed.test" serves urbl.feed.test and
+	// urwatch.feed.test subtrees.
+	Apex dns.Name
+	// Store supplies verdicts.
+	Store *Store
+	// Limiter, when non-nil, throttles per-client; throttled queries get
+	// REFUSED (the DNSBL convention for "come back later").
+	Limiter *RateLimiter
+	// Cache, when non-nil, memoizes rendered answer sets per generation.
+	Cache *ResponseCache
+	// TTL is the answer TTL (0 selects 30s — the feed changes per sweep, so
+	// long TTLs would serve retired generations from resolver caches).
+	TTL uint32
+}
+
+// cachedAnswer is one rendered (rcode, answers) pair, keyed by
+// (generation, qname, qtype) in the response cache.
+type cachedAnswer struct {
+	rcode   dns.RCode
+	answers []dns.RR
+}
+
+func (z *ZoneResponder) ttl() uint32 {
+	if z.TTL == 0 {
+		return 30
+	}
+	return z.TTL
+}
+
+func (z *ZoneResponder) urblSuffix() dns.Name    { return "urbl." + z.Apex }
+func (z *ZoneResponder) urwatchSuffix() dns.Name { return "urwatch." + z.Apex }
+
+// HandleQuery implements dnsio.Responder. Every answer is computed from one
+// Store.Current() load.
+func (z *ZoneResponder) HandleQuery(src netip.Addr, q *dns.Message) *dns.Message {
+	r := q.Reply()
+	if len(q.Questions) != 1 {
+		r.Header.RCode = dns.RCodeFormat
+		return r
+	}
+	qu := q.Questions[0]
+	if qu.Name != z.Apex && !qu.Name.IsSubdomainOf(z.Apex) {
+		r.Header.RCode = dns.RCodeRefused
+		return r
+	}
+	if !z.Limiter.Allow(src) {
+		r.Header.RCode = dns.RCodeRefused
+		return r
+	}
+	r.Header.Authoritative = true
+
+	g := z.Store.Current()
+	key := string(qu.Name) + "|" + qu.Type.String()
+	if z.Cache != nil {
+		if v, ok := z.Cache.Get(g.Seq, key); ok {
+			ca := v.(cachedAnswer)
+			return z.finish(r, g, ca)
+		}
+	}
+	ca := z.answer(g, qu)
+	if z.Cache != nil {
+		z.Cache.Put(g.Seq, key, ca)
+	}
+	return z.finish(r, g, ca)
+}
+
+// finish attaches a cached answer to the reply, adding the negative-answer
+// SOA on NXDOMAIN/NoData.
+func (z *ZoneResponder) finish(r *dns.Message, g *Generation, ca cachedAnswer) *dns.Message {
+	r.Header.RCode = ca.rcode
+	r.Answers = append(r.Answers, ca.answers...)
+	if len(ca.answers) == 0 {
+		r.Authority = append(r.Authority, z.soa(g))
+	}
+	return r
+}
+
+// soa synthesizes the zone SOA; the serial is the generation number, so
+// zone-transfer-style pollers can detect staleness with a plain SOA query.
+func (z *ZoneResponder) soa(g *Generation) dns.RR {
+	return dns.MustParseRR(fmt.Sprintf(
+		"%s %d IN SOA ns.%s hostmaster.%s %d 60 30 600 %d",
+		z.Apex, z.ttl(), z.Apex, z.Apex, g.Seq, z.ttl()))
+}
+
+// answer renders the (rcode, answer RRs) for one question against one
+// generation.
+func (z *ZoneResponder) answer(g *Generation, qu dns.Question) cachedAnswer {
+	name := qu.Name
+	switch {
+	case name == "gen."+z.Apex:
+		return z.genAnswer(g, qu)
+	case name.IsProperSubdomainOf(z.urblSuffix()):
+		return z.listAnswer(g, qu, z.ipVerdicts(g, name))
+	case name.IsProperSubdomainOf(z.urwatchSuffix()):
+		domain := dns.Name(strings.TrimSuffix(string(name), "."+string(z.urwatchSuffix())))
+		return z.listAnswer(g, qu, g.Domain(domain))
+	case name == z.Apex && qu.Type == dns.TypeSOA:
+		return cachedAnswer{rcode: dns.RCodeSuccess, answers: []dns.RR{z.soa(g)}}
+	case name == z.Apex:
+		return cachedAnswer{rcode: dns.RCodeSuccess}
+	}
+	return cachedAnswer{rcode: dns.RCodeNXDomain}
+}
+
+// ipVerdicts resolves a reversed-IPv4 urbl name to its verdict set.
+func (z *ZoneResponder) ipVerdicts(g *Generation, name dns.Name) []*Verdict {
+	rev := strings.TrimSuffix(string(name), "."+string(z.urblSuffix()))
+	labels := strings.Split(rev, ".")
+	if len(labels) != 4 {
+		return nil
+	}
+	for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
+		labels[i], labels[j] = labels[j], labels[i]
+	}
+	addr, err := netip.ParseAddr(strings.Join(labels, "."))
+	if err != nil || !addr.Is4() {
+		return nil
+	}
+	return g.IP(addr)
+}
+
+// listAnswer renders a listed name's A/TXT answer, or NXDOMAIN when the
+// verdict set is empty.
+func (z *ZoneResponder) listAnswer(g *Generation, qu dns.Question, vs []*Verdict) cachedAnswer {
+	if len(vs) == 0 {
+		return cachedAnswer{rcode: dns.RCodeNXDomain}
+	}
+	switch qu.Type {
+	case dns.TypeA:
+		code := categoryCode(worstOf(vs))
+		rr := dns.MustParseRR(fmt.Sprintf("%s %d IN A 127.0.0.%d", qu.Name, z.ttl(), code))
+		return cachedAnswer{rcode: dns.RCodeSuccess, answers: []dns.RR{rr}}
+	case dns.TypeTXT:
+		answers := []dns.RR{z.txt(qu.Name, fmt.Sprintf("gen=%d listed=%d worst=%s",
+			g.Seq, len(vs), worstOf(vs)))}
+		for i, v := range vs {
+			if i >= maxTXTEvidence {
+				answers = append(answers, z.txt(qu.Name,
+					fmt.Sprintf("and %d more", len(vs)-maxTXTEvidence)))
+				break
+			}
+			ev := fmt.Sprintf("%s %s %s @%s (%s)", v.Category, v.Type, v.Domain, v.Server, v.Provider)
+			if v.ByIntel || v.ByIDS {
+				ev += fmt.Sprintf(" intel=%t ids=%t", v.ByIntel, v.ByIDS)
+			}
+			answers = append(answers, z.txt(qu.Name, ev))
+		}
+		return cachedAnswer{rcode: dns.RCodeSuccess, answers: answers}
+	}
+	// Listed, but not a served type: NoData.
+	return cachedAnswer{rcode: dns.RCodeSuccess}
+}
+
+// genAnswer serves the generation marker: TXT gen.<apex>.
+func (z *ZoneResponder) genAnswer(g *Generation, qu dns.Question) cachedAnswer {
+	if qu.Type != dns.TypeTXT {
+		return cachedAnswer{rcode: dns.RCodeSuccess}
+	}
+	s := fmt.Sprintf("gen=%d total=%d malicious=%d suspicious=%d protective=%d correct=%d",
+		g.Seq, g.Total(),
+		g.Count(core.CategoryMalicious), g.Count(core.CategoryUnknown),
+		g.Count(core.CategoryProtective), g.Count(core.CategoryCorrect))
+	return cachedAnswer{rcode: dns.RCodeSuccess, answers: []dns.RR{z.txt(qu.Name, s)}}
+}
+
+// txt builds one TXT record with a single character-string.
+func (z *ZoneResponder) txt(name dns.Name, s string) dns.RR {
+	return dns.MustParseRR(fmt.Sprintf("%s %d IN TXT %q", name, z.ttl(), s))
+}
+
+// ReverseIPName builds the urbl query name for an IPv4 address under apex —
+// the client-side helper mirrored by ipVerdicts.
+func ReverseIPName(addr netip.Addr, apex dns.Name) (dns.Name, bool) {
+	if !addr.Is4() {
+		return "", false
+	}
+	b := addr.As4()
+	// string(apex), not %s on the Name: Name.String() appends the display
+	// trailing dot, which would make the result non-canonical.
+	return dns.Name(fmt.Sprintf("%d.%d.%d.%d.urbl.%s", b[3], b[2], b[1], b[0], string(apex))), true
+}
+
+// DomainName builds the urwatch query name for a domain under apex.
+func DomainName(domain, apex dns.Name) dns.Name {
+	return domain + ".urwatch." + apex
+}

@@ -1,0 +1,46 @@
+package urwatch
+
+import (
+	"net/netip"
+
+	"repro/internal/core"
+	"repro/internal/dns"
+)
+
+// Feed adapts a verdict store to the defense package's URFeed interface
+// (structurally — urwatch does not import defense). A defender wiring the
+// live feed into its firewall asks two questions: "is this (domain, server)
+// pair a known UR serving point?" and "is this destination IP a known UR
+// rdata?" Both answer from one generation dereference.
+type Feed struct {
+	Store *Store
+}
+
+// FlowListed reports whether the feed lists URs for domain hosted at server,
+// and the worst category among them. This is the signal the baseline
+// defenses lack: the flow "query benign-looking domain at provider server"
+// is exactly the UR C2 channel's shape.
+func (f *Feed) FlowListed(domain dns.Name, server netip.Addr) (core.Category, bool) {
+	g := f.Store.Current()
+	var vs []*Verdict
+	for _, v := range g.Domain(domain) {
+		if v.Server == server {
+			vs = append(vs, v)
+		}
+	}
+	if len(vs) == 0 {
+		return core.CategoryUnknown, false
+	}
+	return worstOf(vs), true
+}
+
+// IPListed reports whether dst appears among the corresponding IPs of any
+// listed UR, and the worst category among those URs.
+func (f *Feed) IPListed(dst netip.Addr) (core.Category, bool) {
+	g := f.Store.Current()
+	vs := g.IP(dst)
+	if len(vs) == 0 {
+		return core.CategoryUnknown, false
+	}
+	return worstOf(vs), true
+}

@@ -1,0 +1,359 @@
+// Package urwatch turns URHunter's one-shot measurement into a continuously
+// updated verdict feed: a scheduler re-sweeps a world on an interval, each
+// sweep's classified records are sealed into an immutable generation of a
+// sharded verdict store, a differ emits an append-only event log between
+// consecutive generations, and two front-ends — an HTTP/JSON API and a
+// DNSBL-style DNS zone — serve the current generation under load.
+//
+// The consistency argument is the generation pointer: every query (HTTP or
+// DNS) dereferences the store's atomic generation pointer exactly once and
+// answers entirely out of that immutable snapshot, so a reader concurrent
+// with a publish observes generation N or N+1, never a torn mix. Writers
+// never touch a published generation; they build the next one off to the
+// side and swap it in with a single atomic store.
+package urwatch
+
+import (
+	"fmt"
+	"net/netip"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dns"
+)
+
+// Verdict is the served classification of one undelegated record — the
+// feed's unit of truth. Identity follows the paper's §5.1 uniqueness tuple
+// (server, domain, type, rdata); everything else is evidence.
+type Verdict struct {
+	Domain   dns.Name
+	Type     dns.Type
+	RData    string
+	TTL      uint32
+	Server   netip.Addr
+	NSHost   dns.Name
+	Provider string
+
+	Category core.Category
+	Reason   core.CorrectReason
+	ByIntel  bool
+	ByIDS    bool
+
+	// IPs are the record's corresponding IPs (§4.3): the A address or the
+	// addresses embedded in / associated with a TXT record. The store's IP
+	// index is built over this set, which is what lets a DNSBL client ask
+	// "is this destination a UR C2?" without knowing the domain.
+	IPs []netip.Addr
+}
+
+// Key returns the §5.1 identity tuple as the store's canonical key.
+func (v *Verdict) Key() string {
+	return fmt.Sprintf("%s|%s|%d|%s", v.Server, v.Domain, uint16(v.Type), v.RData)
+}
+
+// genShards is the shard count of every per-generation index. Power of two;
+// the shard index is a mask away from the key hash. Sharding buys parallel
+// generation builds (per-shard locks on the builder) and keeps any single
+// map small enough that the differ's per-shard walk stays cache-friendly.
+const genShards = 16
+
+// domainShard hashes a domain onto [0, genShards) with FNV-1a.
+func domainShard(d dns.Name) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(d); i++ {
+		h = (h ^ uint32(d[i])) * 16777619
+	}
+	return h & (genShards - 1)
+}
+
+// ipShard hashes an address onto [0, genShards).
+func ipShard(a netip.Addr) uint32 {
+	b := a.As16()
+	h := uint32(2166136261)
+	for _, x := range b[8:] {
+		h = (h ^ uint32(x)) * 16777619
+	}
+	return h & (genShards - 1)
+}
+
+// genShardData is one slice of a generation's domain-keyed indexes. Keys
+// shard by domain hash, so a verdict's byKey and byDomain entries always
+// land in the same shard — which is what lets the differ walk prev/next
+// shard-pairwise.
+type genShardData struct {
+	byKey    map[string]*Verdict
+	byDomain map[dns.Name][]*Verdict
+}
+
+// ProviderStats aggregates one provider's verdict counts in a generation.
+type ProviderStats struct {
+	Provider string         `json:"provider"`
+	Total    int            `json:"total"`
+	Counts   map[string]int `json:"counts"`
+}
+
+// Generation is one immutable snapshot of the verdict feed. All fields are
+// written by a single Builder before Seal and never mutated after; readers
+// need no locks.
+type Generation struct {
+	// Seq is the generation number, monotonically increasing from 1 (the
+	// store's empty initial generation is 0).
+	Seq uint64
+	// SweptAt stamps when the generation's sweep completed.
+	SweptAt time.Time
+	// Queries and Coverage carry the producing sweep's measurement books,
+	// served by the health endpoints.
+	Queries  int64
+	Coverage *core.Coverage
+
+	shards   [genShards]genShardData
+	byIP     [genShards]map[netip.Addr][]*Verdict
+	provider map[string]*ProviderStats
+	counts   [4]int
+	total    int
+}
+
+// Total returns the verdict count.
+func (g *Generation) Total() int { return g.total }
+
+// Count returns how many verdicts carry the category.
+func (g *Generation) Count(c core.Category) int {
+	if c < 0 || int(c) >= len(g.counts) {
+		return 0
+	}
+	return g.counts[c]
+}
+
+// Domain returns every verdict for a domain (nil when unlisted). The slice
+// is shared with the generation — callers must not mutate it.
+func (g *Generation) Domain(d dns.Name) []*Verdict {
+	return g.shards[domainShard(d)].byDomain[d]
+}
+
+// Lookup returns the verdict with the exact identity key.
+func (g *Generation) Lookup(key string, domain dns.Name) (*Verdict, bool) {
+	v, ok := g.shards[domainShard(domain)].byKey[key]
+	return v, ok
+}
+
+// IP returns every verdict whose corresponding IPs include addr.
+func (g *Generation) IP(addr netip.Addr) []*Verdict {
+	return g.byIP[ipShard(addr)][addr]
+}
+
+// Provider returns a provider's aggregate stats.
+func (g *Generation) Provider(name string) (*ProviderStats, bool) {
+	s, ok := g.provider[name]
+	return s, ok
+}
+
+// Providers returns every provider's stats, sorted by name.
+func (g *Generation) Providers() []*ProviderStats {
+	out := make([]*ProviderStats, 0, len(g.provider))
+	for _, s := range g.provider {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Provider < out[j].Provider })
+	return out
+}
+
+// WorstCategory folds a verdict set to its most severe classification with
+// the feed's precedence: malicious > unknown (suspicious) > protective >
+// correct. ok is false for an empty set.
+func WorstCategory(vs []*Verdict) (core.Category, bool) {
+	if len(vs) == 0 {
+		return core.CategoryCorrect, false
+	}
+	rank := func(c core.Category) int {
+		switch c {
+		case core.CategoryMalicious:
+			return 3
+		case core.CategoryUnknown:
+			return 2
+		case core.CategoryProtective:
+			return 1
+		}
+		return 0
+	}
+	worst := vs[0].Category
+	for _, v := range vs[1:] {
+		if rank(v.Category) > rank(worst) {
+			worst = v.Category
+		}
+	}
+	return worst, true
+}
+
+// Builder accumulates verdicts for the next generation. Adds are safe from
+// many goroutines (per-shard locks); Seal freezes the result. A Builder is
+// single-use.
+type Builder struct {
+	mu     [genShards]sync.Mutex
+	ipMu   [genShards]sync.Mutex
+	provMu sync.Mutex
+	g      *Generation
+	sealed atomic.Bool
+}
+
+// NewBuilder starts an empty next generation.
+func NewBuilder() *Builder {
+	g := &Generation{provider: make(map[string]*ProviderStats)}
+	for i := range g.shards {
+		g.shards[i] = genShardData{
+			byKey:    make(map[string]*Verdict),
+			byDomain: make(map[dns.Name][]*Verdict),
+		}
+		g.byIP[i] = make(map[netip.Addr][]*Verdict)
+	}
+	return &Builder{g: g}
+}
+
+// Add inserts one verdict. Duplicate keys keep the first insertion (the
+// pipeline's canonical sort means the first is the canonical one).
+func (b *Builder) Add(v *Verdict) {
+	if b.sealed.Load() {
+		panic("urwatch: Add after Seal")
+	}
+	key := v.Key()
+	si := domainShard(v.Domain)
+	b.mu[si].Lock()
+	sh := &b.g.shards[si]
+	if _, dup := sh.byKey[key]; dup {
+		b.mu[si].Unlock()
+		return
+	}
+	sh.byKey[key] = v
+	sh.byDomain[v.Domain] = append(sh.byDomain[v.Domain], v)
+	b.mu[si].Unlock()
+
+	for _, ip := range v.IPs {
+		ii := ipShard(ip)
+		b.ipMu[ii].Lock()
+		b.g.byIP[ii][ip] = append(b.g.byIP[ii][ip], v)
+		b.ipMu[ii].Unlock()
+	}
+
+	b.provMu.Lock()
+	ps := b.g.provider[v.Provider]
+	if ps == nil {
+		ps = &ProviderStats{Provider: v.Provider, Counts: make(map[string]int)}
+		b.g.provider[v.Provider] = ps
+	}
+	ps.Total++
+	ps.Counts[v.Category.String()]++
+	if v.Category >= 0 && int(v.Category) < len(b.g.counts) {
+		b.g.counts[v.Category]++
+	}
+	b.g.total++
+	b.provMu.Unlock()
+}
+
+// Seal stamps the generation and returns it. The builder must not be used
+// afterwards. Per-domain and per-IP verdict slices are put into the store's
+// canonical order so lookups and diffs are independent of Add order.
+func (b *Builder) Seal(seq uint64, sweptAt time.Time) *Generation {
+	if b.sealed.Swap(true) {
+		panic("urwatch: Seal called twice")
+	}
+	g := b.g
+	g.Seq = seq
+	g.SweptAt = sweptAt
+	for i := range g.shards {
+		for _, vs := range g.shards[i].byDomain {
+			sortVerdicts(vs)
+		}
+	}
+	for i := range g.byIP {
+		for _, vs := range g.byIP[i] {
+			sortVerdicts(vs)
+		}
+	}
+	return g
+}
+
+// sortVerdicts orders a verdict slice canonically: server, domain, type,
+// rdata — the same order the pipeline's sortURs produces.
+func sortVerdicts(vs []*Verdict) {
+	sort.Slice(vs, func(i, j int) bool {
+		a, b := vs[i], vs[j]
+		if cmp := a.Server.Compare(b.Server); cmp != 0 {
+			return cmp < 0
+		}
+		if a.Domain != b.Domain {
+			return a.Domain < b.Domain
+		}
+		if a.Type != b.Type {
+			return a.Type < b.Type
+		}
+		return a.RData < b.RData
+	})
+}
+
+// SnapshotFromResult seals a generation from one pipeline run's classified
+// output. Every collected UR becomes a verdict; the sweep's query and
+// coverage books ride along for the health endpoints.
+func SnapshotFromResult(res *core.Result, seq uint64, sweptAt time.Time) *Generation {
+	b := NewBuilder()
+	for _, u := range res.URs {
+		b.Add(&Verdict{
+			Domain:   u.Domain,
+			Type:     u.Type,
+			RData:    u.RData,
+			TTL:      u.TTL,
+			Server:   u.Server.Addr,
+			NSHost:   u.Server.Host,
+			Provider: u.Server.Provider,
+			Category: u.Category,
+			Reason:   u.Reason,
+			ByIntel:  u.MaliciousByIntel,
+			ByIDS:    u.MaliciousByIDS,
+			IPs:      u.CorrespondingIPs,
+		})
+	}
+	g := b.Seal(seq, sweptAt)
+	g.Queries = res.Queries
+	g.Coverage = res.Coverage
+	return g
+}
+
+// Store holds the current generation behind an atomic pointer. Reads are
+// lock-free: Current is a single atomic load, and everything reachable from
+// the returned generation is immutable. Publish is serialized by a writer
+// mutex (the watcher is the only writer in practice, but correctness does
+// not depend on that).
+type Store struct {
+	gen atomic.Pointer[Generation]
+	mu  sync.Mutex
+	log *EventLog
+}
+
+// NewStore creates a store serving an empty generation 0 with a fresh event
+// log.
+func NewStore() *Store {
+	s := &Store{log: NewEventLog()}
+	s.gen.Store(NewBuilder().Seal(0, time.Time{}))
+	return s
+}
+
+// Current returns the live generation. Never nil.
+func (s *Store) Current() *Generation { return s.gen.Load() }
+
+// Log returns the store's append-only event log.
+func (s *Store) Log() *EventLog { return s.log }
+
+// Publish diffs the next generation against the current one, appends the
+// resulting events to the log, and atomically swaps next in. It returns the
+// diff. Readers concurrent with Publish see the old or the new generation in
+// full — the swap is the linearization point.
+func (s *Store) Publish(next *Generation) *GenDiff {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	prev := s.gen.Load()
+	d := Diff(prev, next)
+	s.log.Append(d)
+	s.gen.Store(next)
+	return d
+}

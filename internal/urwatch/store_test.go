@@ -1,0 +1,211 @@
+package urwatch
+
+import (
+	"fmt"
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dns"
+)
+
+// mkVerdict builds a test verdict; the (server, domain, type, rdata) tuple is
+// its identity.
+func mkVerdict(domain string, server string, cat core.Category, rdata string) *Verdict {
+	addr := netip.MustParseAddr(server)
+	v := &Verdict{
+		Domain:   dns.Name(domain),
+		Type:     dns.TypeA,
+		RData:    rdata,
+		TTL:      120,
+		Server:   addr,
+		NSHost:   dns.Name("ns." + domain),
+		Provider: "TestDNS",
+		Category: cat,
+	}
+	if ip, err := netip.ParseAddr(rdata); err == nil {
+		v.IPs = []netip.Addr{ip}
+	}
+	return v
+}
+
+func sealGen(t *testing.T, seq uint64, vs ...*Verdict) *Generation {
+	t.Helper()
+	b := NewBuilder()
+	for _, v := range vs {
+		b.Add(v)
+	}
+	return b.Seal(seq, time.Unix(int64(seq), 0))
+}
+
+func TestBuilderIndexes(t *testing.T) {
+	v1 := mkVerdict("a.test", "192.0.2.1", core.CategoryMalicious, "198.51.100.7")
+	v2 := mkVerdict("a.test", "192.0.2.2", core.CategoryUnknown, "198.51.100.7")
+	v3 := mkVerdict("b.test", "192.0.2.1", core.CategoryCorrect, "203.0.113.9")
+	g := sealGen(t, 1, v2, v1, v3, v1) // duplicate v1 must dedup; order shuffled
+
+	if g.Total() != 3 {
+		t.Fatalf("Total = %d, want 3", g.Total())
+	}
+	if got := g.Count(core.CategoryMalicious); got != 1 {
+		t.Errorf("malicious count = %d, want 1", got)
+	}
+	vs := g.Domain("a.test")
+	if len(vs) != 2 {
+		t.Fatalf("Domain(a.test) = %d verdicts, want 2", len(vs))
+	}
+	// Canonical order: by server.
+	if vs[0].Server != v1.Server || vs[1].Server != v2.Server {
+		t.Errorf("Domain verdicts out of canonical order: %v, %v", vs[0].Server, vs[1].Server)
+	}
+	if _, ok := g.Lookup(v3.Key(), v3.Domain); !ok {
+		t.Errorf("Lookup(%q) missed", v3.Key())
+	}
+	byIP := g.IP(netip.MustParseAddr("198.51.100.7"))
+	if len(byIP) != 2 {
+		t.Errorf("IP index = %d verdicts, want 2", len(byIP))
+	}
+	ps, ok := g.Provider("TestDNS")
+	if !ok || ps.Total != 3 {
+		t.Errorf("Provider stats = %+v, ok=%v", ps, ok)
+	}
+	if ps.Counts[core.CategoryMalicious.String()] != 1 {
+		t.Errorf("provider malicious count = %d", ps.Counts[core.CategoryMalicious.String()])
+	}
+	if got := len(g.Providers()); got != 1 {
+		t.Errorf("Providers() = %d entries", got)
+	}
+}
+
+func TestWorstCategory(t *testing.T) {
+	mk := func(cats ...core.Category) []*Verdict {
+		var vs []*Verdict
+		for i, c := range cats {
+			vs = append(vs, mkVerdict("w.test", fmt.Sprintf("192.0.2.%d", i+1), c, "203.0.113.1"))
+		}
+		return vs
+	}
+	if _, ok := WorstCategory(nil); ok {
+		t.Error("WorstCategory(nil) ok = true")
+	}
+	cases := []struct {
+		vs   []*Verdict
+		want core.Category
+	}{
+		{mk(core.CategoryCorrect), core.CategoryCorrect},
+		{mk(core.CategoryCorrect, core.CategoryProtective), core.CategoryProtective},
+		{mk(core.CategoryProtective, core.CategoryUnknown), core.CategoryUnknown},
+		{mk(core.CategoryUnknown, core.CategoryMalicious, core.CategoryCorrect), core.CategoryMalicious},
+	}
+	for i, c := range cases {
+		if got, _ := WorstCategory(c.vs); got != c.want {
+			t.Errorf("case %d: worst = %v, want %v", i, got, c.want)
+		}
+	}
+}
+
+func TestStorePublishMonotonic(t *testing.T) {
+	s := NewStore()
+	if s.Current().Seq != 0 {
+		t.Fatalf("fresh store seq = %d", s.Current().Seq)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		d := s.Publish(sealGen(t, seq,
+			mkVerdict("a.test", "192.0.2.1", core.CategoryUnknown, fmt.Sprintf("198.51.100.%d", seq))))
+		if d.ToSeq != seq {
+			t.Errorf("diff ToSeq = %d, want %d", d.ToSeq, seq)
+		}
+		if s.Current().Seq != seq {
+			t.Errorf("Current().Seq = %d, want %d", s.Current().Seq, seq)
+		}
+	}
+	// Three swaps: each replaces the single verdict (1 appear; then
+	// 1 appear + 1 remove per swap).
+	if got := s.Log().LastSeq(); got != 5 {
+		t.Errorf("event log last seq = %d, want 5", got)
+	}
+}
+
+// TestConcurrentReadersDuringSwap is the -race generation-swap test: readers
+// hammer Current() while a writer publishes a stream of generations. Every
+// generation is self-describing (all its verdicts' RData encode its seq), so
+// a reader can detect a torn snapshot — verdicts from one generation served
+// under another's header — and seq must never run backwards per reader.
+func TestConcurrentReadersDuringSwap(t *testing.T) {
+	s := NewStore()
+	const generations = 200
+	const readers = 8
+
+	genFor := func(seq uint64) *Generation {
+		b := NewBuilder()
+		n := int(seq%7) + 1 // varying size so totals differ across gens
+		for i := 0; i < n; i++ {
+			b.Add(&Verdict{
+				Domain:   dns.Name(fmt.Sprintf("d%d.test", i)),
+				Type:     dns.TypeA,
+				RData:    fmt.Sprintf("gen-%d", seq),
+				Server:   netip.MustParseAddr(fmt.Sprintf("192.0.2.%d", i+1)),
+				Provider: "TestDNS",
+				Category: core.CategoryUnknown,
+			})
+		}
+		return b.Seal(seq, time.Unix(int64(seq), 0))
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	errs := make(chan string, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastSeq uint64
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				g := s.Current()
+				if g.Seq < lastSeq {
+					errs <- fmt.Sprintf("seq ran backwards: %d after %d", g.Seq, lastSeq)
+					return
+				}
+				lastSeq = g.Seq
+				if g.Seq == 0 {
+					continue
+				}
+				want := fmt.Sprintf("gen-%d", g.Seq)
+				n := 0
+				for i := 0; i < 7; i++ {
+					for _, v := range g.Domain(dns.Name(fmt.Sprintf("d%d.test", i))) {
+						n++
+						if v.RData != want {
+							errs <- fmt.Sprintf("torn read: verdict %q inside generation %d", v.RData, g.Seq)
+							return
+						}
+					}
+				}
+				if n != g.Total() {
+					errs <- fmt.Sprintf("generation %d: walked %d verdicts, Total()=%d", g.Seq, n, g.Total())
+					return
+				}
+			}
+		}()
+	}
+
+	for seq := uint64(1); seq <= generations; seq++ {
+		s.Publish(genFor(seq))
+	}
+	close(stop)
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	if s.Current().Seq != generations {
+		t.Errorf("final seq = %d, want %d", s.Current().Seq, generations)
+	}
+}

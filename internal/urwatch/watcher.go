@@ -1,0 +1,146 @@
+package urwatch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+)
+
+// SweepFunc runs one measurement sweep and returns the classified result.
+// cmd/urwatchd wires this to the streaming pipeline (optionally journaled,
+// so an interrupted sweep resumes instead of restarting); tests substitute
+// cheaper producers.
+type SweepFunc func(ctx context.Context) (*core.Result, error)
+
+// WatcherConfig tunes the sweep scheduler.
+type WatcherConfig struct {
+	// Sweep produces each generation's raw material. Required.
+	Sweep SweepFunc
+	// Interval is the pause between the end of one sweep and the start of
+	// the next. Zero or negative means back-to-back sweeps.
+	Interval time.Duration
+	// OnGeneration, when non-nil, observes every publish: the sealed
+	// generation and its diff against the predecessor. Called on the
+	// scheduler goroutine after the swap.
+	OnGeneration func(g *Generation, d *GenDiff)
+	// Clock stamps generations; nil uses time.Now.
+	Clock Clock
+}
+
+// Health is a point-in-time snapshot of the watcher's condition, served by
+// the front-ends' health endpoints.
+type Health struct {
+	Generation    uint64        `json:"generation"`
+	Sweeps        int           `json:"sweeps"`
+	LastSweepAt   time.Time     `json:"last_sweep_at"`
+	LastSweepTook time.Duration `json:"last_sweep_took_ns"`
+	LastError     string        `json:"last_error,omitempty"`
+	Verdicts      int           `json:"verdicts"`
+	Events        uint64        `json:"events"`
+}
+
+// Watcher periodically re-sweeps a world and publishes each sweep as a new
+// verdict-store generation. One watcher owns one store; it is the store's
+// only writer.
+type Watcher struct {
+	cfg   WatcherConfig
+	store *Store
+
+	mu      sync.Mutex
+	sweeps  int
+	lastAt  time.Time
+	took    time.Duration
+	lastErr error
+}
+
+// NewWatcher builds a watcher over a fresh store.
+func NewWatcher(cfg WatcherConfig) *Watcher {
+	if cfg.Clock == nil {
+		cfg.Clock = time.Now
+	}
+	return &Watcher{cfg: cfg, store: NewStore()}
+}
+
+// Store returns the watcher's verdict store.
+func (w *Watcher) Store() *Store { return w.store }
+
+// Health reports the watcher's current condition.
+func (w *Watcher) Health() Health {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	g := w.store.Current()
+	h := Health{
+		Generation:    g.Seq,
+		Sweeps:        w.sweeps,
+		LastSweepAt:   w.lastAt,
+		LastSweepTook: w.took,
+		Verdicts:      g.Total(),
+		Events:        w.store.Log().LastSeq(),
+	}
+	if w.lastErr != nil {
+		h.LastError = w.lastErr.Error()
+	}
+	return h
+}
+
+// SweepOnce runs a single sweep and publishes its generation. Returns the
+// diff against the previous generation.
+func (w *Watcher) SweepOnce(ctx context.Context) (*GenDiff, error) {
+	if w.cfg.Sweep == nil {
+		return nil, errors.New("urwatch: no sweep function configured")
+	}
+	t0 := w.cfg.Clock()
+	res, err := w.cfg.Sweep(ctx)
+	took := w.cfg.Clock().Sub(t0)
+	w.mu.Lock()
+	w.lastAt = w.cfg.Clock()
+	w.took = took
+	w.lastErr = err
+	if err == nil {
+		w.sweeps++
+	}
+	w.mu.Unlock()
+	if err != nil {
+		return nil, err
+	}
+	next := SnapshotFromResult(res, w.store.Current().Seq+1, w.cfg.Clock())
+	d := w.store.Publish(next)
+	if w.cfg.OnGeneration != nil {
+		w.cfg.OnGeneration(next, d)
+	}
+	return d, nil
+}
+
+// Run sweeps until ctx is cancelled or maxSweeps successful sweeps complete
+// (maxSweeps <= 0 means no bound). A failed sweep does not publish — the
+// previous generation keeps serving — and does not count toward maxSweeps;
+// the scheduler retries after the interval. Returns nil on a clean stop
+// (bound reached or ctx cancelled).
+func (w *Watcher) Run(ctx context.Context, maxSweeps int) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return nil
+		}
+		if _, err := w.SweepOnce(ctx); err != nil && ctx.Err() != nil {
+			return nil
+		}
+		w.mu.Lock()
+		done := maxSweeps > 0 && w.sweeps >= maxSweeps
+		w.mu.Unlock()
+		if done {
+			return nil
+		}
+		if w.cfg.Interval > 0 {
+			t := time.NewTimer(w.cfg.Interval)
+			select {
+			case <-ctx.Done():
+				t.Stop()
+				return nil
+			case <-t.C:
+			}
+		}
+	}
+}
