@@ -316,6 +316,42 @@ func BenchmarkServeVerdicts(b *testing.B) {
 	b.ReportMetric(float64(hist.Quantile(0.99).Nanoseconds())/1e6, "serve_p99_ms")
 }
 
+// BenchmarkSnapshotColdStart measures the restart path end to end: one
+// sealed generation of real pipeline verdicts is written as a binary
+// snapshot once, and each iteration loads it from disk, validates it, and
+// swaps it into a fresh store — exactly what `urwatchd -snapshot-dir` does
+// before opening its listeners. coldstart_ms is the CI-gated restart SLO;
+// bytes_per_verdict is the flat layout's retained footprint.
+func BenchmarkSnapshotColdStart(b *testing.B) {
+	env := benchSetup(b)
+	g := urwatch.SnapshotFromResult(env.Result, 1, time.Unix(0, 0))
+	if g.Total() == 0 {
+		b.Fatal("empty generation")
+	}
+	dir := b.TempDir()
+	path, err := urwatch.SaveGeneration(dir, g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loaded, err := urwatch.LoadSnapshotFile(path)
+		if err != nil {
+			b.Fatal(err)
+		}
+		store := urwatch.NewStore()
+		store.Restore(loaded)
+		if cur := store.Current(); cur.Seq != 1 || cur.Total() != g.Total() {
+			b.Fatalf("restored seq=%d total=%d", cur.Seq, cur.Total())
+		}
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "coldstart_ms")
+	b.ReportMetric(float64(g.SizeBytes())/float64(g.Total()), "bytes_per_verdict")
+	b.ReportMetric(float64(g.Total()), "verdicts")
+}
+
 // --- substrate microbenches ----------------------------------------------
 
 // BenchmarkDNSPackUnpack measures the wire codec on a realistic referral

@@ -20,6 +20,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"testing"
 	"time"
 
@@ -57,6 +58,10 @@ func main() {
 		"exit 1 if ServeVerdicts' serve_qps falls below this (0 disables the gate)")
 	maxServeP99 := flag.Float64("max-serve-p99-ms", 0,
 		"exit 1 if ServeVerdicts' serve_p99_ms exceeds this (0 disables the gate)")
+	maxBytesPerVerdict := flag.Float64("max-bytes-per-verdict", 0,
+		"exit 1 if FlatStoreFootprint's bytes_per_verdict exceeds this (0 disables the gate)")
+	maxColdstart := flag.Float64("max-coldstart-ms", 0,
+		"exit 1 if SnapshotColdStart's coldstart_ms exceeds this (0 disables the gate)")
 	flag.Parse()
 
 	env, err := repro.NewEnv(context.Background(), repro.TinyScale(), *seed)
@@ -374,6 +379,110 @@ func main() {
 		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "serve_qps")
 		b.ReportMetric(float64(hist.Quantile(0.99).Nanoseconds())/1e6, "serve_p99_ms")
 	})
+	// FlatStoreFootprint compares the flat generation layout's retained
+	// bytes per verdict (analytical accounting over the packed arrays, the
+	// figure the -max-bytes-per-verdict gate bounds) against a heap-measured
+	// rebuild of the map-era indexes — maps of pointers keyed by string,
+	// domain, and address — over the same verdicts. map_bytes_per_verdict is
+	// measured, not modeled, so the delta is the refactor's actual win.
+	run("FlatStoreFootprint", func(b *testing.B) {
+		res, err := repro.NewPipeline(env.World).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := urwatch.SnapshotFromResult(res, 1, time.Unix(0, 0))
+		if g.Total() == 0 {
+			b.Fatal("empty generation")
+		}
+		verdicts := make([]*urwatch.Verdict, 0, g.Total())
+		all := g.All()
+		for i := 0; i < all.Len(); i++ {
+			verdicts = append(verdicts, all.At(i).Verdict())
+		}
+		heapDelta := func(build func() any) float64 {
+			runtime.GC()
+			runtime.GC()
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			ref := build()
+			runtime.GC()
+			runtime.ReadMemStats(&m1)
+			runtime.KeepAlive(ref)
+			if m1.HeapAlloc <= m0.HeapAlloc {
+				return 0
+			}
+			return float64(m1.HeapAlloc - m0.HeapAlloc)
+		}
+		mapBytes := heapDelta(func() any {
+			type mapEra struct {
+				byKey    map[string]*urwatch.Verdict
+				byDomain map[dns.Name][]*urwatch.Verdict
+				byIP     map[netip.Addr][]*urwatch.Verdict
+			}
+			m := &mapEra{
+				byKey:    make(map[string]*urwatch.Verdict),
+				byDomain: make(map[dns.Name][]*urwatch.Verdict),
+				byIP:     make(map[netip.Addr][]*urwatch.Verdict),
+			}
+			for _, v := range verdicts {
+				// The map era retained each sweep's own string data per
+				// verdict (no interning) plus fmt.Sprintf'd map keys; clone
+				// so none of it aliases the flat generation's arenas.
+				cp := *v
+				cp.Domain = dns.Name(strings.Clone(string(v.Domain)))
+				cp.RData = strings.Clone(v.RData)
+				cp.Reason = core.CorrectReason(strings.Clone(string(v.Reason)))
+				cp.NSHost = dns.Name(strings.Clone(string(v.NSHost)))
+				cp.Provider = strings.Clone(v.Provider)
+				cp.IPs = append([]netip.Addr(nil), v.IPs...)
+				m.byKey[cp.Key()] = &cp
+				m.byDomain[cp.Domain] = append(m.byDomain[cp.Domain], &cp)
+				for _, ip := range cp.IPs {
+					m.byIP[ip] = append(m.byIP[ip], &cp)
+				}
+			}
+			return m
+		})
+		for i := 0; i < b.N; i++ {
+		}
+		b.ReportMetric(float64(g.SizeBytes())/float64(g.Total()), "bytes_per_verdict")
+		b.ReportMetric(mapBytes/float64(g.Total()), "map_bytes_per_verdict")
+		b.ReportMetric(float64(g.Total()), "verdicts")
+	})
+	// SnapshotColdStart is the restart SLO: load one generation snapshot
+	// from disk, validate it, swap it into a fresh store — what `urwatchd
+	// -snapshot-dir` does before opening its listeners. coldstart_ms feeds
+	// the -max-coldstart-ms gate.
+	run("SnapshotColdStart", func(b *testing.B) {
+		res, err := repro.NewPipeline(env.World).Run(context.Background())
+		if err != nil {
+			b.Fatal(err)
+		}
+		g := urwatch.SnapshotFromResult(res, 1, time.Unix(0, 0))
+		dir, err := os.MkdirTemp("", "benchsnap")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		path, err := urwatch.SaveGeneration(dir, g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			loaded, err := urwatch.LoadSnapshotFile(path)
+			if err != nil {
+				b.Fatal(err)
+			}
+			store := urwatch.NewStore()
+			store.Restore(loaded)
+			if store.Current().Total() != g.Total() {
+				b.Fatal("restored generation incomplete")
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N)/1e6, "coldstart_ms")
+	})
 	run("DNSPackUnpack", func(b *testing.B) {
 		m := dns.NewQuery(1, "www.example.com", dns.TypeA).Reply()
 		m.Answers = append(m.Answers,
@@ -480,5 +589,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "serve p99 gate: %.3fms <= %.3fms\n", got, *maxServeP99)
+	}
+	if *maxBytesPerVerdict > 0 {
+		got, ok := rep.Benchmarks["FlatStoreFootprint"].Extra["bytes_per_verdict"]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchjson: gate: FlatStoreFootprint reported no bytes_per_verdict")
+			os.Exit(1)
+		}
+		if got > *maxBytesPerVerdict {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: bytes_per_verdict %.0f exceeds the %.0f limit\n", got, *maxBytesPerVerdict)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "flat footprint gate: %.0f B/verdict <= %.0f\n", got, *maxBytesPerVerdict)
+	}
+	if *maxColdstart > 0 {
+		got, ok := rep.Benchmarks["SnapshotColdStart"].Extra["coldstart_ms"]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchjson: gate: SnapshotColdStart reported no coldstart_ms")
+			os.Exit(1)
+		}
+		if got > *maxColdstart {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: coldstart_ms %.3f exceeds the %.3f limit\n", got, *maxColdstart)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "cold-start gate: %.3fms <= %.3fms\n", got, *maxColdstart)
 	}
 }

@@ -17,10 +17,15 @@
 //	urwatchd [-scale tiny] [-seed 42] [-interval 30s] [-sweeps 0]
 //	         [-http 127.0.0.1:8053] [-dns 127.0.0.1:5354]
 //	         [-apex feed.urwatch.test] [-rate 0] [-burst 0] [-cache 8192]
-//	         [-journal dir] [-smoke 0]
+//	         [-journal dir] [-snapshot-dir dir] [-smoke 0]
 //
 // With -journal, each sweep checkpoints into dir and the next sweep replays
 // answered probes instead of re-querying them — incremental sweeps. With
+// -snapshot-dir, every published generation is written as a binary snapshot
+// and a restarted daemon serves the newest valid one immediately — cold
+// start in milliseconds instead of a full blocking sweep — while the first
+// background sweep refreshes it; corrupt or torn snapshots are rejected at
+// load and the daemon falls back to the blocking initial sweep. With
 // -smoke N, the daemon self-tests: N concurrent HTTP and N DNS clients
 // hammer both front-ends across the configured number of sweeps, assert no
 // 5xx / REFUSED / torn generation, then the daemon drains and exits.
@@ -59,11 +64,12 @@ func main() {
 	burst := flag.Float64("burst", 0, "per-client burst (0 = 2x rate)")
 	cacheCap := flag.Int("cache", urwatch.DefaultCacheCap, "response cache entries per front-end")
 	journalDir := flag.String("journal", "", "checkpoint sweeps into this directory (incremental sweeps)")
+	snapshotDir := flag.String("snapshot-dir", "", "persist generation snapshots here and cold-start from the newest on restart")
 	smoke := flag.Int("smoke", 0, "self-test with N concurrent HTTP and N DNS clients, then exit")
 	flag.Parse()
 
 	if err := run(*scaleName, *seed, *interval, *sweeps, *httpAddr, *dnsAddr,
-		*apex, *rate, *burst, *cacheCap, *journalDir, *smoke); err != nil {
+		*apex, *rate, *burst, *cacheCap, *journalDir, *snapshotDir, *smoke); err != nil {
 		fmt.Fprintf(os.Stderr, "urwatchd: %v\n", err)
 		os.Exit(1)
 	}
@@ -71,7 +77,7 @@ func main() {
 
 func run(scaleName string, seed int64, interval time.Duration, sweeps int,
 	httpAddr, dnsAddr, apexStr string, rate, burst float64, cacheCap int,
-	journalDir string, smoke int) error {
+	journalDir, snapshotDir string, smoke int) error {
 
 	scale, ok := repro.ScaleByName(scaleName)
 	if !ok {
@@ -105,14 +111,37 @@ func run(scaleName string, seed int64, interval time.Duration, sweeps int,
 		OnGeneration: func(g *urwatch.Generation, d *urwatch.GenDiff) {
 			fmt.Printf("generation %d: %d verdicts, %d events (gen %d -> %d)\n",
 				g.Seq, g.Total(), len(d.Events), d.FromSeq, d.ToSeq)
+			if snapshotDir != "" {
+				if _, err := urwatch.SaveGeneration(snapshotDir, g); err != nil {
+					fmt.Fprintf(os.Stderr, "urwatchd: snapshot generation %d: %v\n", g.Seq, err)
+				}
+			}
 		},
 	})
 
-	// First sweep runs before the listeners open, so the front-ends never
-	// serve the empty generation 0 to a real client.
-	fmt.Println("initial sweep...")
-	if _, err := watcher.SweepOnce(context.Background()); err != nil {
-		return fmt.Errorf("initial sweep: %w", err)
+	// Cold start: restore the newest valid snapshot and serve it immediately
+	// — the first background sweep refreshes it. Without a restorable
+	// snapshot, the first sweep runs before the listeners open, so the
+	// front-ends never serve the empty generation 0 to a real client.
+	restored := false
+	if snapshotDir != "" {
+		t0 := time.Now()
+		g, path, err := urwatch.LoadLatestSnapshot(snapshotDir)
+		switch {
+		case err != nil:
+			fmt.Fprintf(os.Stderr, "urwatchd: snapshot restore: %v; falling back to initial sweep\n", err)
+		case g != nil:
+			watcher.Store().Restore(g)
+			restored = true
+			fmt.Printf("restored generation %d (%d verdicts) from %s in %s\n",
+				g.Seq, g.Total(), path, time.Since(t0).Round(time.Millisecond))
+		}
+	}
+	if !restored {
+		fmt.Println("initial sweep...")
+		if _, err := watcher.SweepOnce(context.Background()); err != nil {
+			return fmt.Errorf("initial sweep: %w", err)
+		}
 	}
 
 	var limiter *urwatch.RateLimiter

@@ -148,10 +148,10 @@ func main() {
 	gen := watcher.Store().Current()
 	fmt.Printf("⑥ URWatch sweep published generation %d: %d verdicts, %d new events\n",
 		gen.Seq, gen.Total(), len(diff.Events))
-	for _, v := range gen.Domain("trusted.com") {
+	if vs := gen.Domain("trusted.com"); vs.Len() > 0 {
+		v := vs.At(0) // one representative line; one UR per provider nameserver
 		fmt.Printf("   listed: %s %s -> %s at %s (%s), class %s\n",
-			v.Domain, v.Type, v.RData, v.Server, v.Provider, v.Category)
-		break // one representative line; one UR per provider nameserver
+			v.Domain(), v.Type(), v.RData(), v.Server(), v.Provider(), v.Category())
 	}
 	// No vendor has flagged the fresh C2 yet, so the UR is merely
 	// "suspicious" — the strict blocker refuses listed URs the analyzer

@@ -42,6 +42,23 @@ func newInterner() *interner {
 	return in
 }
 
+// Interner is the exported handle over a sharded, capped interning table,
+// for packages that build long-lived flat stores (urwatch's generation
+// string tables) and want canonical string instances shared across builds:
+// consecutive generations observe mostly the same domains and rdata, so
+// interning through one shared table makes their tables reference the same
+// backing bytes instead of re-materializing them every sweep.
+type Interner struct {
+	in *interner
+}
+
+// NewInterner builds an empty interning table.
+func NewInterner() *Interner { return &Interner{in: newInterner()} }
+
+// Intern returns the canonical instance of s (s itself once the table caps
+// out). Safe for concurrent use.
+func (i *Interner) Intern(s string) string { return i.in.intern(s) }
+
 // intern returns the canonical instance of s, registering it if the table has
 // room. The lookup itself never allocates: map access with a string key uses
 // the key in place.

@@ -56,42 +56,82 @@ type GenDiff struct {
 	ByProvider map[string]ProviderDelta `json:"by_provider"`
 }
 
-// Diff computes the from-scratch delta between two generations. Because both
-// indexes shard keys by domain hash, the walk pairs shard i of prev with
-// shard i of next and never consults the other shards. Events come out in
-// canonical key order, so the diff of the same two generations is always
-// byte-identical — the property the event log's consumers (and the
-// acceptance test) rely on.
+// compareIdentity orders two records from (possibly different) generations
+// by the record arrays' (domain, server, type, rdata) sort tuple. String
+// fields resolve through each generation's own table — identical strings in
+// different tables compare equal by content.
+func compareIdentity(pg *Generation, pi int, ng *Generation, ni int) int {
+	a, b := &pg.recs[pi], &ng.recs[ni]
+	if da, db := pg.str(a.domain), ng.str(b.domain); da != db {
+		if da < db {
+			return -1
+		}
+		return 1
+	}
+	if cmp := a.server.Compare(b.server); cmp != 0 {
+		return cmp
+	}
+	if a.typ != b.typ {
+		if a.typ < b.typ {
+			return -1
+		}
+		return 1
+	}
+	if ra, rb := pg.str(a.rdata), ng.str(b.rdata); ra != rb {
+		if ra < rb {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Diff computes the from-scratch delta between two generations. Both record
+// arrays are sorted by the same identity tuple, so the walk is a single
+// merge over the two sorted runs — no maps, no per-shard pairing, O(p+n)
+// with two moving cursors. Events come out in canonical key order (the final
+// sort below, unchanged from the map era), so the diff of the same two
+// generations is always byte-identical — the property the event log's
+// consumers (and the acceptance test) rely on.
 func Diff(prev, next *Generation) *GenDiff {
 	d := &GenDiff{ByProvider: make(map[string]ProviderDelta)}
+	var pn, nn int
 	if prev != nil {
 		d.FromSeq = prev.Seq
+		pn = len(prev.recs)
 	}
 	if next != nil {
 		d.ToSeq = next.Seq
+		nn = len(next.recs)
 	}
-	for i := 0; i < genShards; i++ {
-		var pk, nk map[string]*Verdict
-		if prev != nil {
-			pk = prev.shards[i].byKey
+	pi, ni := 0, 0
+	for pi < pn || ni < nn {
+		var cmp int
+		switch {
+		case pi >= pn:
+			cmp = 1
+		case ni >= nn:
+			cmp = -1
+		default:
+			cmp = compareIdentity(prev, pi, next, ni)
 		}
-		if next != nil {
-			nk = next.shards[i].byKey
-		}
-		for key, nv := range nk {
-			pv, had := pk[key]
-			if !had {
-				d.add(eventFor(EventAppeared, nv, "", nv.Category.String()))
-				continue
+		switch {
+		case cmp < 0:
+			pv := VerdictView{g: prev, i: pi}
+			d.add(eventFor(EventRemoved, pv, pv.Category().String(), ""))
+			pi++
+		case cmp > 0:
+			nv := VerdictView{g: next, i: ni}
+			d.add(eventFor(EventAppeared, nv, "", nv.Category().String()))
+			ni++
+		default:
+			pv := VerdictView{g: prev, i: pi}
+			nv := VerdictView{g: next, i: ni}
+			if pv.Category() != nv.Category() {
+				d.add(eventFor(EventReclassified, nv, pv.Category().String(), nv.Category().String()))
 			}
-			if pv.Category != nv.Category {
-				d.add(eventFor(EventReclassified, nv, pv.Category.String(), nv.Category.String()))
-			}
-		}
-		for key, pv := range pk {
-			if _, still := nk[key]; !still {
-				d.add(eventFor(EventRemoved, pv, pv.Category.String(), ""))
-			}
+			pi++
+			ni++
 		}
 	}
 	sort.Slice(d.Events, func(i, j int) bool {
@@ -107,15 +147,15 @@ func Diff(prev, next *Generation) *GenDiff {
 	return d
 }
 
-func eventFor(kind EventKind, v *Verdict, old, new_ string) Event {
+func eventFor(kind EventKind, v VerdictView, old, new_ string) Event {
 	return Event{
 		Kind:     kind,
 		Key:      v.Key(),
-		Domain:   string(v.Domain),
-		Type:     v.Type.String(),
-		RData:    v.RData,
-		Server:   v.Server.String(),
-		Provider: v.Provider,
+		Domain:   string(v.Domain()),
+		Type:     v.Type().String(),
+		RData:    v.RData(),
+		Server:   v.Server().String(),
+		Provider: v.Provider(),
 		Old:      old,
 		New:      new_,
 	}
@@ -229,7 +269,7 @@ func (l *EventLog) Deltas() []GenDiff {
 
 // worstOf is a convenience for front-ends: the worst category over a set,
 // defaulting to correct when empty.
-func worstOf(vs []*Verdict) core.Category {
+func worstOf(vs VerdictSet) core.Category {
 	c, _ := WorstCategory(vs)
 	return c
 }

@@ -159,26 +159,26 @@ func (z *ZoneResponder) answer(g *Generation, qu dns.Question) cachedAnswer {
 }
 
 // ipVerdicts resolves a reversed-IPv4 urbl name to its verdict set.
-func (z *ZoneResponder) ipVerdicts(g *Generation, name dns.Name) []*Verdict {
+func (z *ZoneResponder) ipVerdicts(g *Generation, name dns.Name) VerdictSet {
 	rev := strings.TrimSuffix(string(name), "."+string(z.urblSuffix()))
 	labels := strings.Split(rev, ".")
 	if len(labels) != 4 {
-		return nil
+		return VerdictSet{}
 	}
 	for i, j := 0, len(labels)-1; i < j; i, j = i+1, j-1 {
 		labels[i], labels[j] = labels[j], labels[i]
 	}
 	addr, err := netip.ParseAddr(strings.Join(labels, "."))
 	if err != nil || !addr.Is4() {
-		return nil
+		return VerdictSet{}
 	}
 	return g.IP(addr)
 }
 
 // listAnswer renders a listed name's A/TXT answer, or NXDOMAIN when the
 // verdict set is empty.
-func (z *ZoneResponder) listAnswer(g *Generation, qu dns.Question, vs []*Verdict) cachedAnswer {
-	if len(vs) == 0 {
+func (z *ZoneResponder) listAnswer(g *Generation, qu dns.Question, vs VerdictSet) cachedAnswer {
+	if vs.Len() == 0 {
 		return cachedAnswer{rcode: dns.RCodeNXDomain}
 	}
 	switch qu.Type {
@@ -188,16 +188,17 @@ func (z *ZoneResponder) listAnswer(g *Generation, qu dns.Question, vs []*Verdict
 		return cachedAnswer{rcode: dns.RCodeSuccess, answers: []dns.RR{rr}}
 	case dns.TypeTXT:
 		answers := []dns.RR{z.txt(qu.Name, fmt.Sprintf("gen=%d listed=%d worst=%s",
-			g.Seq, len(vs), worstOf(vs)))}
-		for i, v := range vs {
+			g.Seq, vs.Len(), worstOf(vs)))}
+		for i := 0; i < vs.Len(); i++ {
 			if i >= maxTXTEvidence {
 				answers = append(answers, z.txt(qu.Name,
-					fmt.Sprintf("and %d more", len(vs)-maxTXTEvidence)))
+					fmt.Sprintf("and %d more", vs.Len()-maxTXTEvidence)))
 				break
 			}
-			ev := fmt.Sprintf("%s %s %s @%s (%s)", v.Category, v.Type, v.Domain, v.Server, v.Provider)
-			if v.ByIntel || v.ByIDS {
-				ev += fmt.Sprintf(" intel=%t ids=%t", v.ByIntel, v.ByIDS)
+			v := vs.At(i)
+			ev := fmt.Sprintf("%s %s %s @%s (%s)", v.Category(), v.Type(), v.Domain(), v.Server(), v.Provider())
+			if v.ByIntel() || v.ByIDS() {
+				ev += fmt.Sprintf(" intel=%t ids=%t", v.ByIntel(), v.ByIDS())
 			}
 			answers = append(answers, z.txt(qu.Name, ev))
 		}

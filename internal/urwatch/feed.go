@@ -22,16 +22,22 @@ type Feed struct {
 // is exactly the UR C2 channel's shape.
 func (f *Feed) FlowListed(domain dns.Name, server netip.Addr) (core.Category, bool) {
 	g := f.Store.Current()
-	var vs []*Verdict
-	for _, v := range g.Domain(domain) {
-		if v.Server == server {
-			vs = append(vs, v)
+	vs := g.Domain(domain)
+	worst, found := core.CategoryCorrect, false
+	for i := 0; i < vs.Len(); i++ {
+		v := vs.At(i)
+		if v.Server() != server {
+			continue
 		}
+		if c := v.Category(); !found || categoryRank(c) > categoryRank(worst) {
+			worst = c
+		}
+		found = true
 	}
-	if len(vs) == 0 {
+	if !found {
 		return core.CategoryUnknown, false
 	}
-	return worstOf(vs), true
+	return worst, true
 }
 
 // IPListed reports whether dst appears among the corresponding IPs of any
@@ -39,7 +45,7 @@ func (f *Feed) FlowListed(domain dns.Name, server netip.Addr) (core.Category, bo
 func (f *Feed) IPListed(dst netip.Addr) (core.Category, bool) {
 	g := f.Store.Current()
 	vs := g.IP(dst)
-	if len(vs) == 0 {
+	if vs.Len() == 0 {
 		return core.CategoryUnknown, false
 	}
 	return worstOf(vs), true

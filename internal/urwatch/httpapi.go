@@ -53,21 +53,21 @@ type VerdictJSON struct {
 	IPs      []string `json:"ips,omitempty"`
 }
 
-func verdictJSON(v *Verdict) VerdictJSON {
+func verdictJSON(v VerdictView) VerdictJSON {
 	out := VerdictJSON{
-		Domain:   string(v.Domain),
-		Type:     v.Type.String(),
-		RData:    v.RData,
-		TTL:      v.TTL,
-		Server:   v.Server.String(),
-		NSHost:   string(v.NSHost),
-		Provider: v.Provider,
-		Category: v.Category.String(),
-		Reason:   string(v.Reason),
-		ByIntel:  v.ByIntel,
-		ByIDS:    v.ByIDS,
+		Domain:   string(v.Domain()),
+		Type:     v.Type().String(),
+		RData:    v.RData(),
+		TTL:      v.TTL(),
+		Server:   v.Server().String(),
+		NSHost:   string(v.NSHost()),
+		Provider: v.Provider(),
+		Category: v.Category().String(),
+		Reason:   string(v.Reason()),
+		ByIntel:  v.ByIntel(),
+		ByIDS:    v.ByIDS(),
 	}
-	for _, ip := range v.IPs {
+	for _, ip := range v.IPs() {
 		out.IPs = append(out.IPs, ip.String())
 	}
 	return out
@@ -136,7 +136,7 @@ func badRequest(w http.ResponseWriter, msg string) {
 func (a *API) handleLookup(w http.ResponseWriter, r *http.Request) {
 	g := a.Store.Current()
 	q := r.URL.Query()
-	var vs []*Verdict
+	var vs VerdictSet
 	var label string
 	switch {
 	case q.Get("domain") != "":
@@ -167,13 +167,13 @@ func (a *API) handleLookup(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	resp := lookupResponse{Generation: g.Seq, Query: label, Listed: len(vs) > 0}
-	if len(vs) > 0 {
+	resp := lookupResponse{Generation: g.Seq, Query: label, Listed: vs.Len() > 0}
+	if vs.Len() > 0 {
 		resp.Worst = worstOf(vs).String()
 	}
-	resp.Verdicts = make([]VerdictJSON, 0, len(vs))
-	for _, v := range vs {
-		resp.Verdicts = append(resp.Verdicts, verdictJSON(v))
+	resp.Verdicts = make([]VerdictJSON, 0, vs.Len())
+	for i := 0; i < vs.Len(); i++ {
+		resp.Verdicts = append(resp.Verdicts, verdictJSON(vs.At(i)))
 	}
 	body, err := json.Marshal(resp)
 	if err != nil {

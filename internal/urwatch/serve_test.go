@@ -206,9 +206,11 @@ func TestServeAcceptance(t *testing.T) {
 	vt, _ := w.Intel.Vendor("VirusTotal")
 scan:
 	for _, target := range w.Targets {
-		for _, v := range g1.Domain(target) {
-			if v.Category == core.CategoryUnknown && len(v.IPs) > 0 && !v.ByIntel && !v.ByIDS {
-				flagged = v
+		vs := g1.Domain(target)
+		for i := 0; i < vs.Len(); i++ {
+			v := vs.At(i)
+			if v.Category() == core.CategoryUnknown && len(v.IPs()) > 0 && !v.ByIntel() && !v.ByIDS() {
+				flagged = v.Verdict()
 				break scan
 			}
 		}
@@ -279,10 +281,10 @@ scan:
 	}
 
 	// The reclassified verdict must now serve as malicious, end to end.
-	if v, ok := g3.Lookup(flagged.Key(), flagged.Domain); !ok {
+	if v, ok := g3.Find(flagged.Domain, flagged.Server, flagged.Type, flagged.RData); !ok {
 		t.Errorf("flagged verdict vanished from generation 3")
-	} else if v.Category != core.CategoryMalicious {
-		t.Errorf("flagged verdict category = %v, want malicious", v.Category)
+	} else if v.Category() != core.CategoryMalicious {
+		t.Errorf("flagged verdict category = %v, want malicious", v.Category())
 	}
 
 	// Event log seqs are strictly increasing across the whole run.
@@ -296,7 +298,7 @@ scan:
 	// Spot-check the DNSBL view of the planted lifecycle: gone in gen 3.
 	resp := zr.HandleQuery(netip.MustParseAddr("10.1.1.9"),
 		dns.NewQuery(9, DomainName(planted, apex), dns.TypeA))
-	if len(g3.Domain(planted)) == 0 && resp.Header.RCode != dns.RCodeNXDomain {
+	if g3.Domain(planted).Len() == 0 && resp.Header.RCode != dns.RCodeNXDomain {
 		t.Errorf("planted domain still listed after removal: rcode %s", resp.Header.RCode)
 	}
 }

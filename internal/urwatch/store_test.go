@@ -53,19 +53,19 @@ func TestBuilderIndexes(t *testing.T) {
 		t.Errorf("malicious count = %d, want 1", got)
 	}
 	vs := g.Domain("a.test")
-	if len(vs) != 2 {
-		t.Fatalf("Domain(a.test) = %d verdicts, want 2", len(vs))
+	if vs.Len() != 2 {
+		t.Fatalf("Domain(a.test) = %d verdicts, want 2", vs.Len())
 	}
 	// Canonical order: by server.
-	if vs[0].Server != v1.Server || vs[1].Server != v2.Server {
-		t.Errorf("Domain verdicts out of canonical order: %v, %v", vs[0].Server, vs[1].Server)
+	if vs.At(0).Server() != v1.Server || vs.At(1).Server() != v2.Server {
+		t.Errorf("Domain verdicts out of canonical order: %v, %v", vs.At(0).Server(), vs.At(1).Server())
 	}
-	if _, ok := g.Lookup(v3.Key(), v3.Domain); !ok {
-		t.Errorf("Lookup(%q) missed", v3.Key())
+	if _, ok := g.Find(v3.Domain, v3.Server, v3.Type, v3.RData); !ok {
+		t.Errorf("Find(%q) missed", v3.Key())
 	}
 	byIP := g.IP(netip.MustParseAddr("198.51.100.7"))
-	if len(byIP) != 2 {
-		t.Errorf("IP index = %d verdicts, want 2", len(byIP))
+	if byIP.Len() != 2 {
+		t.Errorf("IP index = %d verdicts, want 2", byIP.Len())
 	}
 	ps, ok := g.Provider("TestDNS")
 	if !ok || ps.Total != 3 {
@@ -80,18 +80,18 @@ func TestBuilderIndexes(t *testing.T) {
 }
 
 func TestWorstCategory(t *testing.T) {
-	mk := func(cats ...core.Category) []*Verdict {
+	mk := func(cats ...core.Category) VerdictSet {
 		var vs []*Verdict
 		for i, c := range cats {
 			vs = append(vs, mkVerdict("w.test", fmt.Sprintf("192.0.2.%d", i+1), c, "203.0.113.1"))
 		}
-		return vs
+		return sealGen(t, 1, vs...).Domain("w.test")
 	}
-	if _, ok := WorstCategory(nil); ok {
-		t.Error("WorstCategory(nil) ok = true")
+	if _, ok := WorstCategory(VerdictSet{}); ok {
+		t.Error("WorstCategory(empty) ok = true")
 	}
 	cases := []struct {
-		vs   []*Verdict
+		vs   VerdictSet
 		want core.Category
 	}{
 		{mk(core.CategoryCorrect), core.CategoryCorrect},
@@ -180,10 +180,11 @@ func TestConcurrentReadersDuringSwap(t *testing.T) {
 				want := fmt.Sprintf("gen-%d", g.Seq)
 				n := 0
 				for i := 0; i < 7; i++ {
-					for _, v := range g.Domain(dns.Name(fmt.Sprintf("d%d.test", i))) {
+					vs := g.Domain(dns.Name(fmt.Sprintf("d%d.test", i)))
+					for j := 0; j < vs.Len(); j++ {
 						n++
-						if v.RData != want {
-							errs <- fmt.Sprintf("torn read: verdict %q inside generation %d", v.RData, g.Seq)
+						if rd := vs.At(j).RData(); rd != want {
+							errs <- fmt.Sprintf("torn read: verdict %q inside generation %d", rd, g.Seq)
 							return
 						}
 					}
