@@ -18,6 +18,9 @@
 //	         [-http 127.0.0.1:8053] [-dns 127.0.0.1:5354]
 //	         [-apex feed.urwatch.test] [-rate 0] [-burst 0] [-cache 8192]
 //	         [-journal dir] [-snapshot-dir dir] [-smoke 0]
+//	         [-max-staleness 0] [-degraded-after 3] [-retain 8]
+//	         [-xfr-allow CIDRs] [-zone-allow CIDRs] [-notify addrs]
+//	         [-fail-sweeps 0]
 //
 // With -journal, each sweep checkpoints into dir and the next sweep replays
 // answered probes instead of re-querying them — incremental sweeps. With
@@ -29,6 +32,23 @@
 // -smoke N, the daemon self-tests: N concurrent HTTP and N DNS clients
 // hammer both front-ends across the configured number of sweeps, assert no
 // 5xx / REFUSED / torn generation, then the daemon drains and exits.
+//
+// Robustness and mirroring:
+//
+// Failed sweeps never un-publish — the last sealed generation keeps serving
+// (stale-on-error) while /v1/health walks ok -> degraded (-degraded-after
+// consecutive failures) -> stale (generation older than -max-staleness; 0
+// selects 10x the sweep interval, negative disables the bound). Health
+// transitions print as "health: <from> -> <to>" lines. -fail-sweeps N
+// injects N consecutive sweep failures after the first success — the chaos
+// hook the CI degradation smoke drives.
+//
+// -xfr-allow enables AXFR/IXFR zone transfers for the listed CIDRs (off when
+// empty): a mirror AXFRs once, then follows generations with IXFR deltas
+// keyed by SOA serial = generation sequence, falling back to AXFR when its
+// serial predates the -retain window. -notify sends RFC 1996 NOTIFY to the
+// listed addr:port secondaries on every publish. -zone-allow restricts
+// ordinary DNSBL queries (open when empty). /metrics serves Prometheus text.
 package main
 
 import (
@@ -40,6 +60,7 @@ import (
 	"net/http"
 	"net/netip"
 	"os"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"syscall"
@@ -52,62 +73,145 @@ import (
 	"repro/internal/urwatch"
 )
 
+// daemonConfig carries the parsed flag set.
+type daemonConfig struct {
+	scaleName     string
+	seed          int64
+	interval      time.Duration
+	sweeps        int
+	httpAddr      string
+	dnsAddr       string
+	apexStr       string
+	rate, burst   float64
+	cacheCap      int
+	journalDir    string
+	snapshotDir   string
+	smoke         int
+	maxStaleness  time.Duration
+	degradedAfter int
+	retain        int
+	xfrAllow      string
+	zoneAllow     string
+	notify        string
+	failSweeps    int
+}
+
 func main() {
-	scaleName := flag.String("scale", "tiny", "world scale: tiny, small, or paper")
-	seed := flag.Int64("seed", 42, "world generation seed")
-	interval := flag.Duration("interval", 30*time.Second, "pause between sweeps")
-	sweeps := flag.Int("sweeps", 0, "stop after N successful sweeps (0 = run forever)")
-	httpAddr := flag.String("http", "127.0.0.1:8053", "HTTP/JSON API listen address (empty disables)")
-	dnsAddr := flag.String("dns", "127.0.0.1:5354", "DNSBL zone listen address (empty disables)")
-	apex := flag.String("apex", "feed.urwatch.test", "DNSBL zone apex")
-	rate := flag.Float64("rate", 0, "per-client queries/sec (0 = unlimited)")
-	burst := flag.Float64("burst", 0, "per-client burst (0 = 2x rate)")
-	cacheCap := flag.Int("cache", urwatch.DefaultCacheCap, "response cache entries per front-end")
-	journalDir := flag.String("journal", "", "checkpoint sweeps into this directory (incremental sweeps)")
-	snapshotDir := flag.String("snapshot-dir", "", "persist generation snapshots here and cold-start from the newest on restart")
-	smoke := flag.Int("smoke", 0, "self-test with N concurrent HTTP and N DNS clients, then exit")
+	var cfg daemonConfig
+	flag.StringVar(&cfg.scaleName, "scale", "tiny", "world scale: tiny, small, or paper")
+	flag.Int64Var(&cfg.seed, "seed", 42, "world generation seed")
+	flag.DurationVar(&cfg.interval, "interval", 30*time.Second, "pause between sweeps")
+	flag.IntVar(&cfg.sweeps, "sweeps", 0, "stop after N successful sweeps (0 = run forever)")
+	flag.StringVar(&cfg.httpAddr, "http", "127.0.0.1:8053", "HTTP/JSON API listen address (empty disables)")
+	flag.StringVar(&cfg.dnsAddr, "dns", "127.0.0.1:5354", "DNSBL zone listen address (empty disables)")
+	flag.StringVar(&cfg.apexStr, "apex", "feed.urwatch.test", "DNSBL zone apex")
+	flag.Float64Var(&cfg.rate, "rate", 0, "per-client queries/sec (0 = unlimited)")
+	flag.Float64Var(&cfg.burst, "burst", 0, "per-client burst (0 = 2x rate)")
+	flag.IntVar(&cfg.cacheCap, "cache", urwatch.DefaultCacheCap, "response cache entries per front-end")
+	flag.StringVar(&cfg.journalDir, "journal", "", "checkpoint sweeps into this directory (incremental sweeps)")
+	flag.StringVar(&cfg.snapshotDir, "snapshot-dir", "", "persist generation snapshots here and cold-start from the newest on restart")
+	flag.IntVar(&cfg.smoke, "smoke", 0, "self-test with N concurrent HTTP and N DNS clients, then exit")
+	flag.DurationVar(&cfg.maxStaleness, "max-staleness", 0, "generation age that flips health to stale (0 = 10x interval, <0 = unbounded)")
+	flag.IntVar(&cfg.degradedAfter, "degraded-after", 3, "consecutive sweep failures that flip health to degraded")
+	flag.IntVar(&cfg.retain, "retain", urwatch.DefaultRetainGenerations, "generations retained for IXFR deltas")
+	flag.StringVar(&cfg.xfrAllow, "xfr-allow", "", "CIDR allowlist for AXFR/IXFR/NOTIFY (empty disables transfers)")
+	flag.StringVar(&cfg.zoneAllow, "zone-allow", "", "CIDR allowlist for DNSBL queries (empty = open)")
+	flag.StringVar(&cfg.notify, "notify", "", "comma-separated addr:port secondaries to NOTIFY on publish")
+	flag.IntVar(&cfg.failSweeps, "fail-sweeps", 0, "inject N consecutive sweep failures after the first success (chaos hook)")
 	flag.Parse()
 
-	if err := run(*scaleName, *seed, *interval, *sweeps, *httpAddr, *dnsAddr,
-		*apex, *rate, *burst, *cacheCap, *journalDir, *snapshotDir, *smoke); err != nil {
+	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "urwatchd: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(scaleName string, seed int64, interval time.Duration, sweeps int,
-	httpAddr, dnsAddr, apexStr string, rate, burst float64, cacheCap int,
-	journalDir, snapshotDir string, smoke int) error {
+func run(cfg daemonConfig) error {
+	interval, sweeps := cfg.interval, cfg.sweeps
+	httpAddr, dnsAddr := cfg.httpAddr, cfg.dnsAddr
+	snapshotDir := cfg.snapshotDir
 
-	scale, ok := repro.ScaleByName(scaleName)
+	scale, ok := repro.ScaleByName(cfg.scaleName)
 	if !ok {
-		return fmt.Errorf("unknown scale %q", scaleName)
+		return fmt.Errorf("unknown scale %q", cfg.scaleName)
 	}
-	apex, err := dns.ParseName(apexStr)
+	apex, err := dns.ParseName(cfg.apexStr)
 	if err != nil {
 		return fmt.Errorf("bad apex: %w", err)
 	}
-	fmt.Printf("generating %s world (seed %d)...\n", scaleName, seed)
-	world, err := repro.GenerateWorld(scale, seed)
+	xferACL, err := urwatch.ParseACL(cfg.xfrAllow)
+	if err != nil {
+		return err
+	}
+	zoneACL, err := urwatch.ParseACL(cfg.zoneAllow)
+	if err != nil {
+		return err
+	}
+	var notifyTargets []netip.AddrPort
+	for _, part := range strings.Split(cfg.notify, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		ap, err := netip.ParseAddrPort(part)
+		if err != nil {
+			return fmt.Errorf("bad -notify target %q: %w", part, err)
+		}
+		notifyTargets = append(notifyTargets, ap)
+	}
+	maxStaleness := cfg.maxStaleness
+	if maxStaleness == 0 {
+		maxStaleness = 10 * interval
+	} else if maxStaleness < 0 {
+		maxStaleness = 0
+	}
+
+	fmt.Printf("generating %s world (seed %d)...\n", cfg.scaleName, cfg.seed)
+	world, err := repro.GenerateWorld(scale, cfg.seed)
 	if err != nil {
 		return err
 	}
 
-	sweep := func(ctx context.Context) (*core.Result, error) {
-		if journalDir == "" {
+	baseSweep := func(ctx context.Context) (*core.Result, error) {
+		if cfg.journalDir == "" {
 			return repro.NewPipeline(world).Run(ctx)
 		}
-		pipe, j, err := repro.NewJournaledPipeline(world, journalDir, repro.JournalOptions{})
+		pipe, j, err := repro.NewJournaledPipeline(world, cfg.journalDir, repro.JournalOptions{})
 		if err != nil {
 			return nil, err
 		}
 		defer j.Close()
 		return pipe.Run(ctx)
 	}
+	sweep := baseSweep
+	if cfg.failSweeps > 0 {
+		// Chaos hook: after the first successful sweep, fail the next N. The
+		// scheduler calls sweeps sequentially, so plain variables suffice.
+		var succeeded bool
+		failLeft := cfg.failSweeps
+		sweep = func(ctx context.Context) (*core.Result, error) {
+			if succeeded && failLeft > 0 {
+				failLeft--
+				return nil, fmt.Errorf("injected sweep failure (%d more to come)", failLeft)
+			}
+			res, err := baseSweep(ctx)
+			if err == nil {
+				succeeded = true
+			}
+			return res, err
+		}
+	}
 
+	metrics := urwatch.NewMetrics()
 	watcher := urwatch.NewWatcher(urwatch.WatcherConfig{
 		Sweep:    sweep,
 		Interval: interval,
+		Staleness: &urwatch.StalenessPolicy{
+			SweepInterval: interval,
+			MaxStaleness:  maxStaleness,
+			DegradedAfter: cfg.degradedAfter,
+			Retain:        cfg.retain,
+		},
 		OnGeneration: func(g *urwatch.Generation, d *urwatch.GenDiff) {
 			fmt.Printf("generation %d: %d verdicts, %d events (gen %d -> %d)\n",
 				g.Seq, g.Total(), len(d.Events), d.FromSeq, d.ToSeq)
@@ -116,6 +220,21 @@ func run(scaleName string, seed int64, interval time.Duration, sweeps int,
 					fmt.Fprintf(os.Stderr, "urwatchd: snapshot generation %d: %v\n", g.Seq, err)
 				}
 			}
+			for _, target := range notifyTargets {
+				go func(target netip.AddrPort, seq uint64) {
+					nctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+					defer cancel()
+					if err := dnsio.Notify(nctx, target, apex, urwatch.SerialForSeq(seq)); err != nil {
+						fmt.Fprintf(os.Stderr, "urwatchd: notify %s: %v\n", target, err)
+						return
+					}
+					metrics.CountNotify()
+					fmt.Printf("notify: generation %d -> %s\n", seq, target)
+				}(target, g.Seq)
+			}
+		},
+		OnSweepError: func(err error, consecutive int) {
+			fmt.Fprintf(os.Stderr, "urwatchd: sweep failed (consecutive %d): %v\n", consecutive, err)
 		},
 	})
 
@@ -145,34 +264,44 @@ func run(scaleName string, seed int64, interval time.Duration, sweeps int,
 	}
 
 	var limiter *urwatch.RateLimiter
-	if rate > 0 {
+	if cfg.rate > 0 {
+		burst := cfg.burst
 		if burst <= 0 {
-			burst = 2 * rate
+			burst = 2 * cfg.rate
 		}
-		limiter = urwatch.NewRateLimiter(rate, burst, nil)
+		limiter = urwatch.NewRateLimiter(cfg.rate, burst, nil)
 	}
 
 	var group urwatch.ServeGroup
+	dnsTCPAddr := ""
 	if dnsAddr != "" {
 		zr := &urwatch.ZoneResponder{
 			Apex:    apex,
 			Store:   watcher.Store(),
 			Limiter: limiter,
-			Cache:   urwatch.NewResponseCache(cacheCap),
+			Cache:   urwatch.NewResponseCache(cfg.cacheCap),
+			XferACL: xferACL,
+			ZoneACL: zoneACL,
+			Metrics: metrics,
 		}
 		srv, err := group.StartDNS(zr, dnsAddr)
 		if err != nil {
 			return err
 		}
-		fmt.Printf("DNSBL zone %s on udp/tcp %s\n", apex, srv.UDPAddr())
+		fmt.Printf("DNSBL zone %s on udp %s / tcp %s\n", apex, srv.UDPAddr(), srv.TCPAddr())
+		if xferACL != nil {
+			fmt.Printf("zone transfers enabled for %s\n", xferACL)
+		}
 		dnsAddr = srv.UDPAddr().String()
+		dnsTCPAddr = srv.TCPAddr().String()
 	}
 	if httpAddr != "" {
 		api := &urwatch.API{
 			Store:   watcher.Store(),
 			Watcher: watcher,
 			Limiter: limiter,
-			Cache:   urwatch.NewResponseCache(cacheCap),
+			Cache:   urwatch.NewResponseCache(cfg.cacheCap),
+			Metrics: metrics,
 		}
 		addr, err := group.StartHTTP(api.Handler(), httpAddr)
 		if err != nil {
@@ -184,12 +313,37 @@ func run(scaleName string, seed int64, interval time.Duration, sweeps int,
 
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
+
+	// Health transition logger: the staleness machine's state changes both on
+	// events (failed sweeps, publishes) and silently with the clock (age
+	// crossing -max-staleness), so poll rather than hook. The "health: A -> B"
+	// lines are the CI degradation smoke's observable.
+	h0 := watcher.Health()
+	fmt.Printf("health: %s (generation %d, age %.1fs)\n", h0.Status, h0.Generation, h0.GenerationAgeSec)
+	go func() {
+		t := time.NewTicker(100 * time.Millisecond)
+		defer t.Stop()
+		prev := h0.Status
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+			}
+			if cur := watcher.Health().Status; cur != prev {
+				fmt.Printf("health: %s -> %s\n", prev, cur)
+				prev = cur
+			}
+		}
+	}()
+
 	watcherDone := make(chan error, 1)
 	go func() { watcherDone <- watcher.Run(ctx, sweeps) }()
 
 	var smokeErr error
-	if smoke > 0 {
-		smokeErr = runSmoke(ctx, watcher, httpAddr, dnsAddr, apex, smoke, sweeps)
+	if cfg.smoke > 0 {
+		smokeErr = runSmoke(ctx, watcher, httpAddr, dnsAddr, dnsTCPAddr, apex,
+			xferACL.Contains(netip.MustParseAddr("127.0.0.1")), cfg.smoke, sweeps)
 		cancel()
 	} else {
 		fmt.Println("serving; ctrl-c to drain and exit")
@@ -211,9 +365,13 @@ func run(scaleName string, seed int64, interval time.Duration, sweeps int,
 // watcher publishes generations, asserting the serving invariants: no 5xx,
 // no REFUSED, and every response's generation within the [before, after]
 // window of its request — i.e. a reader sees generation N or N+1, never a
-// torn in-between.
+// torn in-between. After the load phase it exercises the zone-transfer path
+// over TCP: when 127.0.0.1 is transfer-allowlisted it AXFRs the zone into a
+// mirror and verifies an immediate IXFR reports up-to-date; otherwise it
+// asserts the transfer is REFUSED.
 func runSmoke(ctx context.Context, watcher *urwatch.Watcher,
-	httpAddr, dnsAddr string, apex dns.Name, clients, sweeps int) error {
+	httpAddr, dnsAddr, dnsTCPAddr string, apex dns.Name, xfrAllowed bool,
+	clients, sweeps int) error {
 
 	if sweeps <= 0 {
 		sweeps = 3
@@ -335,6 +493,13 @@ func runSmoke(ctx context.Context, watcher *urwatch.Watcher,
 	}
 
 	wg.Wait()
+
+	if dnsTCPAddr != "" {
+		if err := smokeXfr(watcher, dnsTCPAddr, apex, xfrAllowed, violate); err != nil {
+			violate("xfr: %v", err)
+		}
+	}
+
 	fmt.Printf("smoke: %d HTTP + %d DNS requests served across %d generations, %d violations\n",
 		httpReqs.Load(), dnsReqs.Load(), watcher.Store().Current().Seq, violations.Load())
 	if v := violations.Load(); v > 0 {
@@ -346,5 +511,53 @@ func runSmoke(ctx context.Context, watcher *urwatch.Watcher,
 	if dnsAddr != "" && dnsReqs.Load() == 0 {
 		return fmt.Errorf("smoke: no DNS requests completed")
 	}
+	return nil
+}
+
+// smokeXfr runs the transfer phase of the smoke: a full AXFR into a mirror
+// plus an up-to-date IXFR when allowed, a REFUSED assertion when not.
+func smokeXfr(watcher *urwatch.Watcher, dnsTCPAddr string, apex dns.Name,
+	allowed bool, violate func(string, ...any)) error {
+
+	server, err := netip.ParseAddrPort(dnsTCPAddr)
+	if err != nil {
+		return fmt.Errorf("bad dns tcp addr: %w", err)
+	}
+	xctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := dnsio.Transfer(xctx, server, apex, dns.TypeAXFR, 0)
+	if err != nil {
+		return fmt.Errorf("AXFR: %w", err)
+	}
+	if !allowed {
+		if res.RCode != dns.RCodeRefused {
+			violate("AXFR from non-allowlisted client got rcode %s, want REFUSED", res.RCode)
+			return nil
+		}
+		fmt.Println("smoke: AXFR refused (as expected)")
+		return nil
+	}
+	if res.RCode != dns.RCodeSuccess {
+		violate("AXFR rcode %s", res.RCode)
+		return nil
+	}
+	m := urwatch.NewMirror()
+	if err := m.Apply(res); err != nil {
+		return fmt.Errorf("apply AXFR: %w", err)
+	}
+	cur := urwatch.SerialForSeq(watcher.Store().Current().Seq)
+	if m.Serial() != cur {
+		violate("AXFR mirrored serial %d, primary at %d", m.Serial(), cur)
+	}
+	fmt.Printf("smoke: AXFR mirrored serial=%d records=%d messages=%d\n",
+		m.Serial(), len(res.Records), res.Messages)
+	ires, err := dnsio.Transfer(xctx, server, apex, dns.TypeIXFR, m.Serial())
+	if err != nil {
+		return fmt.Errorf("IXFR: %w", err)
+	}
+	if err := m.Apply(ires); err != nil {
+		return fmt.Errorf("apply IXFR: %w", err)
+	}
+	fmt.Printf("smoke: IXFR from serial=%d ok (%d records)\n", m.Serial(), len(ires.Records))
 	return nil
 }

@@ -25,7 +25,11 @@ const (
 	TypeTXT   Type = 16
 	TypeAAAA  Type = 28
 	TypeOPT   Type = 41
-	TypeANY   Type = 255
+	// TypeIXFR and TypeAXFR are QTYPEs only (RFC 1995, RFC 5936): they appear
+	// in questions requesting zone transfers, never as record types.
+	TypeIXFR Type = 251
+	TypeAXFR Type = 252
+	TypeANY  Type = 255
 )
 
 var typeNames = map[Type]string{
@@ -39,6 +43,8 @@ var typeNames = map[Type]string{
 	TypeTXT:   "TXT",
 	TypeAAAA:  "AAAA",
 	TypeOPT:   "OPT",
+	TypeIXFR:  "IXFR",
+	TypeAXFR:  "AXFR",
 	TypeANY:   "ANY",
 }
 

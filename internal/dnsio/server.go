@@ -104,6 +104,18 @@ func (s *Server) serveUDP() {
 	}
 }
 
+// StreamResponder is the optional interface a Responder implements to answer
+// one TCP query with a multi-message response stream — the shape of AXFR and
+// IXFR zone transfers (RFC 5936 §2: a transfer is a sequence of DNS messages
+// on one connection). HandleStream sends zero or more complete messages via
+// send and returns handled=true when it owned the query; handled=false falls
+// back to the ordinary single-message HandleQuery path. A non-nil error
+// tears the connection down (the transfer cannot be completed mid-stream —
+// a partial zone must never look complete to the client).
+type StreamResponder interface {
+	HandleStream(src netip.Addr, q *dns.Message, send func(*dns.Message) error) (handled bool, err error)
+}
+
 func (s *Server) serveTCP() {
 	defer s.wg.Done()
 	for {
@@ -119,10 +131,31 @@ func (s *Server) serveTCP() {
 			if ta, ok := conn.RemoteAddr().(*net.TCPAddr); ok {
 				src = ta.AddrPort().Addr()
 			}
+			sr, streaming := s.responder.(StreamResponder)
 			for {
 				raw, err := readTCPMessage(conn)
 				if err != nil {
 					return
+				}
+				if streaming {
+					q := new(dns.Message)
+					if err := q.UnpackFrom(raw); err == nil {
+						handled, err := sr.HandleStream(src, q, func(m *dns.Message) error {
+							out, perr := m.Pack()
+							if perr != nil {
+								return perr
+							}
+							return writeTCPMessage(conn, out)
+						})
+						if err != nil {
+							return
+						}
+						if handled {
+							continue
+						}
+					}
+					// Malformed or unhandled: the single-message path below
+					// owns FORMERR and ordinary answers alike.
 				}
 				out := serveBytes(s.responder, src, raw, true)
 				if out == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/netip"
 	"strings"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dns"
@@ -66,6 +67,16 @@ type ZoneResponder struct {
 	// TTL is the answer TTL (0 selects 30s — the feed changes per sweep, so
 	// long TTLs would serve retired generations from resolver caches).
 	TTL uint32
+	// XferACL allowlists sources for AXFR/IXFR/NOTIFY. nil disables zone
+	// transfers entirely — a transfer hands out the whole feed, so mirroring
+	// is opt-in (see xfr.go).
+	XferACL *ACL
+	// ZoneACL, when non-nil, restricts ordinary DNSBL queries to matching
+	// sources (transfer-allowlisted sources are implicitly admitted — a
+	// mirror must be able to poll the SOA). nil leaves the zone open.
+	ZoneACL *ACL
+	// Metrics, when non-nil, receives per-query counters and latencies.
+	Metrics *Metrics
 }
 
 // cachedAnswer is one rendered (rcode, answers) pair, keyed by
@@ -88,35 +99,120 @@ func (z *ZoneResponder) urwatchSuffix() dns.Name { return "urwatch." + z.Apex }
 // HandleQuery implements dnsio.Responder. Every answer is computed from one
 // Store.Current() load.
 func (z *ZoneResponder) HandleQuery(src netip.Addr, q *dns.Message) *dns.Message {
+	if q.Header.OpCode == dns.OpNotify {
+		return z.handleNotify(src, q)
+	}
+	var t0 time.Time
+	if z.Metrics != nil {
+		t0 = time.Now()
+	}
+	r, zone := z.answerQuery(src, q)
+	if z.Metrics != nil {
+		z.Metrics.CountQuery(zone, r.Header.RCode)
+		z.Metrics.ObserveDNS(time.Since(t0))
+	}
+	return r
+}
+
+// answerQuery resolves one query to its reply and the subtree it addressed.
+func (z *ZoneResponder) answerQuery(src netip.Addr, q *dns.Message) (*dns.Message, ZoneLabel) {
 	r := q.Reply()
 	if len(q.Questions) != 1 {
 		r.Header.RCode = dns.RCodeFormat
-		return r
+		return r, ZoneOther
 	}
 	qu := q.Questions[0]
 	if qu.Name != z.Apex && !qu.Name.IsSubdomainOf(z.Apex) {
 		r.Header.RCode = dns.RCodeRefused
-		return r
+		return r, ZoneOther
+	}
+	zone := z.zoneLabel(qu.Name)
+	if !z.admit(src) {
+		r.Header.RCode = dns.RCodeRefused
+		return r, zone
 	}
 	if !z.Limiter.Allow(src) {
 		r.Header.RCode = dns.RCodeRefused
-		return r
+		return r, zone
 	}
 	r.Header.Authoritative = true
 
 	g := z.Store.Current()
+	if qu.Type == dns.TypeAXFR || qu.Type == dns.TypeIXFR {
+		// Transfers reaching the single-message path arrived over UDP (the
+		// TCP path streams them — see HandleStream in xfr.go).
+		return z.xfrAnswerUDP(r, g, qu, src), zone
+	}
+	if qu.Name == z.Apex && qu.Type == dns.TypeSOA {
+		// Apex SOA bypasses the cache: its expire timer counts down with the
+		// generation's age, and a cached copy would freeze it (see soa).
+		r.Answers = append(r.Answers, z.soa(g))
+		return r, zone
+	}
 	key := string(qu.Name) + "|" + qu.Type.String()
 	if z.Cache != nil {
 		if v, ok := z.Cache.Get(g.Seq, key); ok {
 			ca := v.(cachedAnswer)
-			return z.finish(r, g, ca)
+			return z.finish(r, g, ca), zone
 		}
 	}
 	ca := z.answer(g, qu)
 	if z.Cache != nil {
 		z.Cache.Put(g.Seq, key, ca)
 	}
-	return z.finish(r, g, ca)
+	return z.finish(r, g, ca), zone
+}
+
+// admit applies the zone ACL: open when unset, otherwise the source must be
+// zone- or transfer-allowlisted.
+func (z *ZoneResponder) admit(src netip.Addr) bool {
+	return z.ZoneACL == nil || z.ZoneACL.Contains(src) || z.XferACL.Contains(src)
+}
+
+// zoneLabel buckets a query name for the metrics counters.
+func (z *ZoneResponder) zoneLabel(name dns.Name) ZoneLabel {
+	switch {
+	case name.IsProperSubdomainOf(z.urblSuffix()):
+		return ZoneUrbl
+	case name.IsProperSubdomainOf(z.urwatchSuffix()):
+		return ZoneUrwatch
+	case name == z.Apex || name == "gen."+z.Apex:
+		return ZoneMeta
+	}
+	return ZoneOther
+}
+
+// xfrAnswerUDP answers a transfer question that arrived over UDP. AXFR is
+// TCP-only (RFC 5936 §4.2) and gets REFUSED; an allowlisted IXFR gets the
+// RFC 1995 §2 single-SOA reply steering the client to TCP.
+func (z *ZoneResponder) xfrAnswerUDP(r *dns.Message, g *Generation, qu dns.Question, src netip.Addr) *dns.Message {
+	if qu.Name != z.Apex || !z.XferACL.Contains(src) {
+		z.Metrics.CountXfr(true)
+		r.Header.RCode = dns.RCodeRefused
+		return r
+	}
+	if qu.Type == dns.TypeIXFR {
+		z.Metrics.CountXfr(false)
+		r.Answers = append(r.Answers, z.soa(g))
+		return r
+	}
+	z.Metrics.CountXfr(true)
+	r.Header.RCode = dns.RCodeRefused
+	return r
+}
+
+// handleNotify acknowledges a NOTIFY (RFC 1996) from a transfer-allowlisted
+// source. The daemon is a primary, so an inbound NOTIFY carries no work; the
+// ack exists so a pair of urwatchds configured as primary/mirror can point
+// NOTIFY at each other without generating refusal noise.
+func (z *ZoneResponder) handleNotify(src netip.Addr, q *dns.Message) *dns.Message {
+	r := q.Reply()
+	if !z.XferACL.Contains(src) {
+		r.Header.RCode = dns.RCodeRefused
+		return r
+	}
+	r.Header.Authoritative = true
+	return r
 }
 
 // finish attaches a cached answer to the reply, adding the negative-answer
@@ -130,12 +226,57 @@ func (z *ZoneResponder) finish(r *dns.Message, g *Generation, ca cachedAnswer) *
 	return r
 }
 
-// soa synthesizes the zone SOA; the serial is the generation number, so
-// zone-transfer-style pollers can detect staleness with a plain SOA query.
+// soa synthesizes the zone SOA. The serial is the generation sequence
+// (truncated onto the RFC 1982 serial space — SerialForSeq), so "is my
+// mirror current?" is one SOA query, and IXFR deltas key off it.
+//
+// With no staleness policy installed the timers are the historical static
+// "60 30 600". With a policy, the timers carry the staleness contract to
+// standards-compliant secondaries: refresh follows the sweep interval (poll
+// at the cadence generations actually appear), retry is half that, and
+// expire is the *remaining* staleness budget — MaxStaleness minus the served
+// generation's age — so a secondary that last refreshed now ages its copy
+// out at the same wall-clock moment the primary itself would report stale.
+// This is why the apex SOA answer is never cached per-generation: expire
+// counts down as the generation ages.
 func (z *ZoneResponder) soa(g *Generation) dns.RR {
+	refresh, retry, expire := uint32(60), uint32(30), uint32(600)
+	if p := z.Store.Policy(); p != nil {
+		if p.SweepInterval > 0 {
+			refresh = ceilSeconds(p.SweepInterval)
+		}
+		if retry = refresh / 2; retry < 1 {
+			retry = 1
+		}
+		if p.MaxStaleness > 0 {
+			remaining := time.Duration(0)
+			if !g.SweptAt.IsZero() {
+				if age := p.now().Sub(g.SweptAt); age < p.MaxStaleness {
+					remaining = p.MaxStaleness - age
+				}
+			}
+			if expire = ceilSeconds(remaining); expire < retry {
+				// Floor at retry: a zero expire would make secondaries drop
+				// the zone the moment they load it, defeating stale-on-error.
+				expire = retry
+			}
+		}
+	}
 	return dns.MustParseRR(fmt.Sprintf(
-		"%s %d IN SOA ns.%s hostmaster.%s %d 60 30 600 %d",
-		z.Apex, z.ttl(), z.Apex, z.Apex, g.Seq, z.ttl()))
+		"%s %d IN SOA ns.%s hostmaster.%s %d %d %d %d %d",
+		z.Apex, z.ttl(), z.Apex, z.Apex, SerialForSeq(g.Seq), refresh, retry, expire, z.ttl()))
+}
+
+// ceilSeconds converts a duration to whole seconds, rounding up, min 1.
+func ceilSeconds(d time.Duration) uint32 {
+	if d <= 0 {
+		return 1
+	}
+	s := d / time.Second
+	if d%time.Second != 0 {
+		s++
+	}
+	return uint32(s)
 }
 
 // answer renders the (rcode, answer RRs) for one question against one
@@ -195,12 +336,7 @@ func (z *ZoneResponder) listAnswer(g *Generation, qu dns.Question, vs VerdictSet
 					fmt.Sprintf("and %d more", vs.Len()-maxTXTEvidence)))
 				break
 			}
-			v := vs.At(i)
-			ev := fmt.Sprintf("%s %s %s @%s (%s)", v.Category(), v.Type(), v.Domain(), v.Server(), v.Provider())
-			if v.ByIntel() || v.ByIDS() {
-				ev += fmt.Sprintf(" intel=%t ids=%t", v.ByIntel(), v.ByIDS())
-			}
-			answers = append(answers, z.txt(qu.Name, ev))
+			answers = append(answers, z.txt(qu.Name, evidenceString(vs.At(i))))
 		}
 		return cachedAnswer{rcode: dns.RCodeSuccess, answers: answers}
 	}
@@ -218,6 +354,17 @@ func (z *ZoneResponder) genAnswer(g *Generation, qu dns.Question) cachedAnswer {
 		g.Count(core.CategoryMalicious), g.Count(core.CategoryUnknown),
 		g.Count(core.CategoryProtective), g.Count(core.CategoryCorrect))
 	return cachedAnswer{rcode: dns.RCodeSuccess, answers: []dns.RR{z.txt(qu.Name, s)}}
+}
+
+// evidenceString renders one verdict's TXT evidence line — shared between
+// the per-query TXT answers and the zone-transfer rendering (xfr.go), so a
+// mirror's TXT records match what the query path would have served.
+func evidenceString(v VerdictView) string {
+	ev := fmt.Sprintf("%s %s %s @%s (%s)", v.Category(), v.Type(), v.Domain(), v.Server(), v.Provider())
+	if v.ByIntel() || v.ByIDS() {
+		ev += fmt.Sprintf(" intel=%t ids=%t", v.ByIntel(), v.ByIDS())
+	}
+	return ev
 }
 
 // txt builds one TXT record with a single character-string.

@@ -6,6 +6,7 @@ import (
 	"net/http"
 	"net/netip"
 	"strconv"
+	"time"
 
 	"repro/internal/dns"
 )
@@ -22,11 +23,15 @@ import (
 //	/v1/provider?name=<provider> one provider's aggregate counts
 //	/v1/providers                every provider's aggregate counts
 //	/v1/events?since=N&max=M     event-log tail with Seq > N
-//	/v1/health                   watcher condition
+//	/v1/health                   watcher condition + staleness state
 //	/v1/coverage                 last sweep's measurement-coverage summary
+//	/metrics                     Prometheus text exposition
 //
 // Rate-limited clients get 429; malformed queries 400. Nothing here returns
-// 5xx in normal operation — the serve-load smoke job asserts that.
+// 5xx in normal operation — the serve-load smoke job asserts that. Every
+// response additionally carries the X-URWatch-Staleness and X-URWatch-Health
+// headers, so a consumer of *any* endpoint can tell it is reading stale data
+// without a second round-trip to /v1/health.
 type API struct {
 	Store *Store
 	// Watcher, when non-nil, supplies /v1/health.
@@ -35,6 +40,8 @@ type API struct {
 	Limiter *RateLimiter
 	// Cache, when non-nil, memoizes marshaled lookup bodies per generation.
 	Cache *ResponseCache
+	// Metrics, when non-nil, backs /metrics and records HTTP latencies.
+	Metrics *Metrics
 }
 
 // VerdictJSON is the wire form of one verdict.
@@ -91,12 +98,23 @@ func (a *API) Handler() http.Handler {
 	mux.HandleFunc("/v1/events", a.limited(a.handleEvents))
 	mux.HandleFunc("/v1/health", a.limited(a.handleHealth))
 	mux.HandleFunc("/v1/coverage", a.limited(a.handleCoverage))
+	mux.HandleFunc("/metrics", a.limited(a.handleMetrics))
 	return mux
 }
 
-// limited wraps a handler with the per-client token bucket.
+// limited wraps a handler with the per-client token bucket, the staleness
+// response headers, and the latency observer.
 func (a *API) limited(h http.HandlerFunc) http.HandlerFunc {
 	return func(w http.ResponseWriter, r *http.Request) {
+		var t0 time.Time
+		if a.Metrics != nil {
+			t0 = time.Now()
+		}
+		st := a.Store.Staleness(a.now())
+		// Headers must precede any WriteHeader call, so stamp them first:
+		// a rate-limited or erroring response still reports staleness.
+		w.Header().Set("X-URWatch-Staleness", st.HeaderValue())
+		w.Header().Set("X-URWatch-Health", st.State.String())
 		if a.Limiter != nil {
 			client := clientAddr(r)
 			if !a.Limiter.Allow(client) {
@@ -105,7 +123,25 @@ func (a *API) limited(h http.HandlerFunc) http.HandlerFunc {
 			}
 		}
 		h(w, r)
+		if a.Metrics != nil {
+			a.Metrics.ObserveHTTP(time.Since(t0))
+		}
 	}
+}
+
+// now reads the store policy's clock so header ages and /metrics gauges stay
+// consistent with the health machine under injected test clocks.
+func (a *API) now() time.Time {
+	if p := a.Store.Policy(); p != nil {
+		return p.now()
+	}
+	return time.Now()
+}
+
+// handleMetrics serves the Prometheus text exposition.
+func (a *API) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	a.Metrics.WriteProm(w, a.Store, a.Cache, a.now())
 }
 
 // clientAddr extracts the client IP from RemoteAddr (zero Addr on failure,

@@ -1,0 +1,146 @@
+package urwatch
+
+import (
+	"fmt"
+	"time"
+)
+
+// Staleness is the serving side of the robustness story. The feed's
+// countermeasure value collapses the moment the daemon goes dark — a blocked
+// UR C2 flow resumes as soon as the blocklist blinks — so failed sweeps must
+// never un-publish (stale-on-error), and consumers must be able to *tell*
+// they are reading old data. The store therefore tracks two degradation
+// signals:
+//
+//   - consecutive sweep failures — the watcher reports every failed sweep,
+//     and a successful publish resets the streak; and
+//   - generation age — how long ago the served generation's sweep completed,
+//     which also catches the silent failure mode where sweeps hang forever
+//     without ever erroring.
+//
+// Both fold into a three-state health machine:
+//
+//	ok        fresh generation, no failure streak
+//	degraded  >= DegradedAfter consecutive sweep failures, but the served
+//	          generation is still within MaxStaleness
+//	stale     the served generation is older than MaxStaleness (or the
+//	          store still serves the empty initial generation)
+//
+// The state is served on /v1/health, stamped on every HTTP response as
+// X-URWatch-Staleness / X-URWatch-Health headers, exported on /metrics, and
+// folded into the DNSBL zone's SOA expiry so standards-compliant secondaries
+// age the zone out on their own when the primary stops refreshing.
+
+// HealthState is the degradation level of the serving store.
+type HealthState uint8
+
+// Health states, ordered by severity.
+const (
+	StateOK HealthState = iota
+	StateDegraded
+	StateStale
+)
+
+// String returns the state's wire label (the /v1/health "status" value).
+func (s HealthState) String() string {
+	switch s {
+	case StateOK:
+		return "ok"
+	case StateDegraded:
+		return "degraded"
+	case StateStale:
+		return "stale"
+	}
+	return fmt.Sprintf("state%d", uint8(s))
+}
+
+// StalenessPolicy configures the health machine and the zone-mirroring
+// timers. The zero policy (an unconfigured store) preserves the pre-policy
+// behaviour: never stale, degraded only while sweeps fail, and the DNSBL
+// SOA's classic static timers.
+type StalenessPolicy struct {
+	// SweepInterval is the watcher's configured pause between sweeps. It
+	// seeds the SOA refresh/retry timers so mirrors poll at the cadence new
+	// generations actually appear.
+	SweepInterval time.Duration
+	// MaxStaleness is how old the served generation may grow before the
+	// store reports stale and the SOA expire timer bottoms out. Zero means
+	// no staleness bound.
+	MaxStaleness time.Duration
+	// DegradedAfter is the consecutive-sweep-failure count that flips ok to
+	// degraded. Values < 1 behave as 1.
+	DegradedAfter int
+	// Retain bounds the generation ring kept for IXFR serving: a secondary
+	// whose serial is within the last Retain-1 publishes gets an incremental
+	// delta; older serials fall back to a full AXFR. Values < 2 select
+	// DefaultRetainGenerations.
+	Retain int
+	// Clock stamps staleness computations; nil uses time.Now. Injected by
+	// tests to drive the state machine deterministically.
+	Clock Clock
+}
+
+// DefaultRetainGenerations is the IXFR window when the policy does not set
+// one: deltas are served for secondaries at most this many generations back.
+const DefaultRetainGenerations = 8
+
+// retain returns the effective generation-ring bound.
+func (p *StalenessPolicy) retain() int {
+	if p == nil || p.Retain < 2 {
+		return DefaultRetainGenerations
+	}
+	return p.Retain
+}
+
+// degradedAfter returns the effective failure threshold.
+func (p *StalenessPolicy) degradedAfter() int {
+	if p == nil || p.DegradedAfter < 1 {
+		return 1
+	}
+	return p.DegradedAfter
+}
+
+// now reads the policy clock (time.Now when unset).
+func (p *StalenessPolicy) now() time.Time {
+	if p == nil || p.Clock == nil {
+		return time.Now()
+	}
+	return p.Clock()
+}
+
+// Staleness is a point-in-time health reading of a store.
+type Staleness struct {
+	// State is the folded health state.
+	State HealthState
+	// Generation is the served generation's sequence number.
+	Generation uint64
+	// Age is how long ago the served generation's sweep completed. Zero
+	// when the store still serves the (never-swept) initial generation.
+	Age time.Duration
+	// ConsecutiveFailures counts sweep failures since the last publish.
+	ConsecutiveFailures int
+	// LastError is the most recent sweep failure ("" after a success).
+	LastError string
+	// MaxStaleness echoes the policy bound (0 when unbounded).
+	MaxStaleness time.Duration
+}
+
+// HeaderValue renders the reading for the X-URWatch-Staleness header:
+// machine-parseable key=value pairs, age first.
+func (s Staleness) HeaderValue() string {
+	return fmt.Sprintf("age=%.3fs;state=%s;gen=%d;failures=%d",
+		s.Age.Seconds(), s.State, s.Generation, s.ConsecutiveFailures)
+}
+
+// SerialForSeq maps a generation sequence number onto the 32-bit SOA serial
+// space. The mapping is plain truncation: generations advance by one, so
+// consecutive serials stay well inside RFC 1982's 2^31-1 addition bound and
+// serial comparisons remain correct across the uint32 wrap — provided
+// consumers compare with SerialLess/SerialEqSeq rather than plain <.
+func SerialForSeq(seq uint64) uint32 { return uint32(seq) }
+
+// SerialLess reports a < b under RFC 1982 serial-number arithmetic: the
+// comparison that stays correct when the 32-bit serial space wraps.
+func SerialLess(a, b uint32) bool {
+	return (a < b && b-a < 1<<31) || (a > b && a-b > 1<<31)
+}

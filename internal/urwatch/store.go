@@ -617,17 +617,37 @@ func SnapshotFromResult(res *core.Result, seq uint64, sweptAt time.Time) *Genera
 // the returned generation is immutable. Publish is serialized by a writer
 // mutex (the watcher is the only writer in practice, but correctness does
 // not depend on that).
+//
+// Beyond the current generation the store also tracks the two degradation
+// signals of the staleness health machine (consecutive sweep failures and
+// generation age — see staleness.go) and retains a short ring of recent
+// generations so the zone-transfer front-end can serve IXFR deltas keyed by
+// SOA serial (see xfr.go).
 type Store struct {
 	gen atomic.Pointer[Generation]
 	mu  sync.Mutex
 	log *EventLog
+
+	// policy is the staleness/mirroring configuration; nil preserves the
+	// pre-policy behaviour (never stale, static SOA timers).
+	policy atomic.Pointer[StalenessPolicy]
+	// ring retains recent generations, oldest first, current last. Guarded
+	// by mu; readers copy the slice header under the lock (transfers are
+	// rare — the per-query hot path never touches it).
+	ring []*Generation
+	// failStreak counts sweep failures since the last publish; lastErr is
+	// the most recent failure's message (nil after a success).
+	failStreak atomic.Int64
+	lastErr    atomic.Pointer[string]
 }
 
 // NewStore creates a store serving an empty generation 0 with a fresh event
 // log.
 func NewStore() *Store {
 	s := &Store{log: NewEventLog()}
-	s.gen.Store(NewBuilder().Seal(0, time.Time{}))
+	g := NewBuilder().Seal(0, time.Time{})
+	s.gen.Store(g)
+	s.ring = []*Generation{g}
 	return s
 }
 
@@ -637,10 +657,67 @@ func (s *Store) Current() *Generation { return s.gen.Load() }
 // Log returns the store's append-only event log.
 func (s *Store) Log() *EventLog { return s.log }
 
+// SetPolicy installs the staleness/mirroring policy. Call before serving;
+// the policy is read atomically, so replacing it mid-serve is safe but the
+// struct itself must not be mutated after installation.
+func (s *Store) SetPolicy(p StalenessPolicy) {
+	s.policy.Store(&p)
+}
+
+// Policy returns the installed policy, or nil when none was set.
+func (s *Store) Policy() *StalenessPolicy { return s.policy.Load() }
+
+// NoteSweepFailure records one failed sweep and returns the consecutive
+// failure count. The watcher calls this on every sweep error; the streak
+// resets at the next successful publish.
+func (s *Store) NoteSweepFailure(err error) int {
+	n := s.failStreak.Add(1)
+	if err != nil {
+		msg := err.Error()
+		s.lastErr.Store(&msg)
+	}
+	return int(n)
+}
+
+// ConsecutiveFailures returns the current sweep-failure streak.
+func (s *Store) ConsecutiveFailures() int { return int(s.failStreak.Load()) }
+
+// Staleness folds the store's degradation signals into a health reading at
+// time now (pass the policy clock's reading, or time.Now()).
+func (s *Store) Staleness(now time.Time) Staleness {
+	g := s.Current()
+	p := s.policy.Load()
+	st := Staleness{
+		Generation:          g.Seq,
+		ConsecutiveFailures: int(s.failStreak.Load()),
+	}
+	if msg := s.lastErr.Load(); msg != nil {
+		st.LastError = *msg
+	}
+	if !g.SweptAt.IsZero() && now.After(g.SweptAt) {
+		st.Age = now.Sub(g.SweptAt)
+	}
+	if p != nil {
+		st.MaxStaleness = p.MaxStaleness
+	}
+	switch {
+	case st.MaxStaleness > 0 && (g.SweptAt.IsZero() || st.Age >= st.MaxStaleness):
+		// An unswept initial generation under a staleness bound is stale by
+		// definition: there is nothing fresh to serve.
+		st.State = StateStale
+	case st.ConsecutiveFailures >= p.degradedAfter():
+		st.State = StateDegraded
+	default:
+		st.State = StateOK
+	}
+	return st
+}
+
 // Publish diffs the next generation against the current one, appends the
 // resulting events to the log, and atomically swaps next in. It returns the
 // diff. Readers concurrent with Publish see the old or the new generation in
-// full — the swap is the linearization point.
+// full — the swap is the linearization point. A publish also resets the
+// sweep-failure streak and appends next to the IXFR retention ring.
 func (s *Store) Publish(next *Generation) *GenDiff {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -648,15 +725,59 @@ func (s *Store) Publish(next *Generation) *GenDiff {
 	d := Diff(prev, next)
 	s.log.Append(d)
 	s.gen.Store(next)
+	s.appendRingLocked(next)
+	s.failStreak.Store(0)
+	s.lastErr.Store(nil)
 	return d
 }
 
 // Restore swaps a previously sealed generation in without diffing — the
 // cold-start path. A snapshot-loaded generation's changes were already
 // logged by the process that published it, so re-announcing them here would
-// double-count; the event log simply resumes at the next real publish.
+// double-count; the event log simply resumes at the next real publish. The
+// retention ring restarts at the restored generation: a restarted daemon has
+// no older generations to derive IXFR deltas from, so secondaries behind it
+// fall back to AXFR once and then track incrementally again.
 func (s *Store) Restore(g *Generation) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.gen.Store(g)
+	s.ring = []*Generation{g}
+}
+
+// appendRingLocked retains g in the generation ring, trimming the oldest
+// entries past the policy's Retain bound. Caller holds s.mu.
+func (s *Store) appendRingLocked(g *Generation) {
+	s.ring = append(s.ring, g)
+	if over := len(s.ring) - s.policy.Load().retain(); over > 0 {
+		// Copy down rather than re-slice so the dropped heads are collectable.
+		n := copy(s.ring, s.ring[over:])
+		for i := n; i < len(s.ring); i++ {
+			s.ring[i] = nil
+		}
+		s.ring = s.ring[:n]
+	}
+}
+
+// Retained returns the retention ring, oldest first, current generation
+// last. The returned slice is a copy; the generations are immutable.
+func (s *Store) Retained() []*Generation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]*Generation(nil), s.ring...)
+}
+
+// ChainFromSerial returns the retained generations from the one whose SOA
+// serial equals serial through the current generation, oldest first. ok is
+// false when the serial predates the retention window (or never existed) —
+// the caller must fall back to a full transfer.
+func (s *Store) ChainFromSerial(serial uint32) (chain []*Generation, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i, g := range s.ring {
+		if SerialForSeq(g.Seq) == serial {
+			return append([]*Generation(nil), s.ring[i:]...), true
+		}
+	}
+	return nil, false
 }

@@ -26,20 +26,34 @@ type WatcherConfig struct {
 	// generation and its diff against the predecessor. Called on the
 	// scheduler goroutine after the swap.
 	OnGeneration func(g *Generation, d *GenDiff)
+	// OnSweepError, when non-nil, observes every failed sweep with the
+	// consecutive-failure count (1 on the first failure of a streak).
+	// Called on the scheduler goroutine; the previous generation keeps
+	// serving throughout (stale-on-error).
+	OnSweepError func(err error, consecutive int)
+	// Staleness, when non-nil, is installed on the store as its staleness/
+	// mirroring policy (a nil Clock inherits the watcher clock).
+	Staleness *StalenessPolicy
 	// Clock stamps generations; nil uses time.Now.
 	Clock Clock
 }
 
 // Health is a point-in-time snapshot of the watcher's condition, served by
-// the front-ends' health endpoints.
+// the front-ends' health endpoints. Status is the staleness health machine's
+// state: ok, degraded (consecutive sweep failures), or stale (generation age
+// past the configured bound) — see staleness.go.
 type Health struct {
-	Generation    uint64        `json:"generation"`
-	Sweeps        int           `json:"sweeps"`
-	LastSweepAt   time.Time     `json:"last_sweep_at"`
-	LastSweepTook time.Duration `json:"last_sweep_took_ns"`
-	LastError     string        `json:"last_error,omitempty"`
-	Verdicts      int           `json:"verdicts"`
-	Events        uint64        `json:"events"`
+	Status              string        `json:"status"`
+	Generation          uint64        `json:"generation"`
+	Sweeps              int           `json:"sweeps"`
+	ConsecutiveFailures int           `json:"consecutive_failures"`
+	GenerationAgeSec    float64       `json:"generation_age_seconds"`
+	MaxStalenessSec     float64       `json:"max_staleness_seconds,omitempty"`
+	LastSweepAt         time.Time     `json:"last_sweep_at"`
+	LastSweepTook       time.Duration `json:"last_sweep_took_ns"`
+	LastError           string        `json:"last_error,omitempty"`
+	Verdicts            int           `json:"verdicts"`
+	Events              uint64        `json:"events"`
 }
 
 // Watcher periodically re-sweeps a world and publishes each sweep as a new
@@ -61,24 +75,41 @@ func NewWatcher(cfg WatcherConfig) *Watcher {
 	if cfg.Clock == nil {
 		cfg.Clock = time.Now
 	}
-	return &Watcher{cfg: cfg, store: NewStore()}
+	w := &Watcher{cfg: cfg, store: NewStore()}
+	if cfg.Staleness != nil {
+		p := *cfg.Staleness
+		if p.Clock == nil {
+			p.Clock = cfg.Clock
+		}
+		if p.SweepInterval == 0 {
+			p.SweepInterval = cfg.Interval
+		}
+		w.store.SetPolicy(p)
+	}
+	return w
 }
 
 // Store returns the watcher's verdict store.
 func (w *Watcher) Store() *Store { return w.store }
 
-// Health reports the watcher's current condition.
+// Health reports the watcher's current condition, including the staleness
+// state machine's reading against the store's policy.
 func (w *Watcher) Health() Health {
+	st := w.store.Staleness(w.cfg.Clock())
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	g := w.store.Current()
 	h := Health{
-		Generation:    g.Seq,
-		Sweeps:        w.sweeps,
-		LastSweepAt:   w.lastAt,
-		LastSweepTook: w.took,
-		Verdicts:      g.Total(),
-		Events:        w.store.Log().LastSeq(),
+		Status:              st.State.String(),
+		Generation:          g.Seq,
+		Sweeps:              w.sweeps,
+		ConsecutiveFailures: st.ConsecutiveFailures,
+		GenerationAgeSec:    st.Age.Seconds(),
+		MaxStalenessSec:     st.MaxStaleness.Seconds(),
+		LastSweepAt:         w.lastAt,
+		LastSweepTook:       w.took,
+		Verdicts:            g.Total(),
+		Events:              w.store.Log().LastSeq(),
 	}
 	if w.lastErr != nil {
 		h.LastError = w.lastErr.Error()
@@ -104,6 +135,15 @@ func (w *Watcher) SweepOnce(ctx context.Context) (*GenDiff, error) {
 	}
 	w.mu.Unlock()
 	if err != nil {
+		// Stale-on-error: the previous generation keeps serving. Record the
+		// failure so the health machine can degrade, and tell the observer.
+		// A sweep torn down by shutdown is not a degradation signal.
+		if ctx.Err() == nil {
+			consec := w.store.NoteSweepFailure(err)
+			if w.cfg.OnSweepError != nil {
+				w.cfg.OnSweepError(err, consec)
+			}
+		}
 		return nil, err
 	}
 	next := SnapshotFromResult(res, w.store.Current().Seq+1, w.cfg.Clock())

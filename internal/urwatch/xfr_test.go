@@ -1,0 +1,407 @@
+package urwatch
+
+import (
+	"context"
+	"net/netip"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/dns"
+	"repro/internal/dnsio"
+)
+
+// startXfrZone binds a ZoneResponder on real UDP/TCP sockets and returns the
+// TCP address transfers dial.
+func startXfrZone(t *testing.T, z *ZoneResponder) netip.AddrPort {
+	t.Helper()
+	srv := dnsio.NewServer(z)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start zone server: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+	return srv.TCPAddr()
+}
+
+// xfrTestStore builds a store with a frozen-clock staleness policy and a
+// chain of generations with realistic churn:
+//
+//	gen 1: evil.test (malicious), shady.test (suspicious)
+//	gen 2: + planted.test (malicious)           — appearance
+//	gen 3: shady.test escalates to malicious    — reclassification
+//	gen 4: - evil.test, + fresh.test (unknown)  — removal and appearance
+func xfrTestStore(t *testing.T, clk Clock) *Store {
+	t.Helper()
+	s := NewStore()
+	s.SetPolicy(StalenessPolicy{
+		SweepInterval: 30 * time.Second,
+		MaxStaleness:  10 * time.Minute,
+		Clock:         clk,
+	})
+	base := clk()
+	seal := func(seq uint64, vs ...*Verdict) *Generation {
+		b := NewBuilder()
+		for _, v := range vs {
+			b.Add(v)
+		}
+		return b.Seal(seq, base)
+	}
+	evil := mkVerdict("evil.test", "192.0.2.1", core.CategoryMalicious, "198.51.100.7")
+	shady := mkVerdict("shady.test", "192.0.2.2", core.CategoryUnknown, "203.0.113.9")
+	planted := mkVerdict("planted.test", "192.0.2.3", core.CategoryMalicious, "198.51.100.44")
+	shadyEsc := mkVerdict("shady.test", "192.0.2.2", core.CategoryMalicious, "203.0.113.9")
+	fresh := mkVerdict("fresh.test", "192.0.2.4", core.CategoryUnknown, "203.0.113.77")
+
+	s.Publish(seal(1, evil, shady))
+	s.Publish(seal(2, evil, shady, planted))
+	s.Publish(seal(3, evil, shadyEsc, planted))
+	s.Publish(seal(4, shadyEsc, planted, fresh))
+	return s
+}
+
+func xfrResponder(s *Store) *ZoneResponder {
+	return &ZoneResponder{
+		Apex:    testApex,
+		Store:   s,
+		XferACL: MustParseACL("127.0.0.0/8"),
+	}
+}
+
+func transfer(t *testing.T, server netip.AddrPort, qtype dns.Type, serial uint32) *dnsio.XfrResult {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	res, err := dnsio.Transfer(ctx, server, testApex, qtype, serial)
+	if err != nil {
+		t.Fatalf("%s transfer: %v", qtype, err)
+	}
+	return res
+}
+
+// TestAXFRServesFullZone: a full transfer over real TCP is SOA-framed,
+// carries the apex NS, and lands a mirror on the current serial.
+func TestAXFRServesFullZone(t *testing.T) {
+	clk := newMovableClock(time.Unix(1_700_000_000, 0))
+	s := xfrTestStore(t, clk.Now)
+	server := startXfrZone(t, xfrResponder(s))
+
+	res := transfer(t, server, dns.TypeAXFR, 0)
+	if res.RCode != dns.RCodeSuccess {
+		t.Fatalf("AXFR rcode %s", res.RCode)
+	}
+	if serial, ok := res.Serial(); !ok || serial != 4 {
+		t.Fatalf("AXFR serial = %d (ok=%v), want 4", serial, ok)
+	}
+	if res.Incremental() {
+		t.Fatal("AXFR body classified as incremental")
+	}
+	sawNS := false
+	for _, rr := range res.Records {
+		if rr.Type() == dns.TypeNS {
+			sawNS = true
+		}
+	}
+	if !sawNS {
+		t.Fatal("AXFR body carries no apex NS record")
+	}
+	m := NewMirror()
+	if err := m.Apply(res); err != nil {
+		t.Fatalf("apply AXFR: %v", err)
+	}
+	if m.Serial() != 4 {
+		t.Fatalf("mirror serial = %d, want 4", m.Serial())
+	}
+	// The zone must list both subtrees: domain names and reversed IPs.
+	text := m.ZoneText()
+	for _, want := range []string{
+		string(DomainName("planted.test", testApex)),
+		"44.100.51.198.urbl." + string(testApex),
+	} {
+		if !containsLine(text, want) {
+			t.Errorf("zone text missing owner %q", want)
+		}
+	}
+}
+
+func containsLine(text, owner string) bool {
+	for _, line := range splitLines(text) {
+		if len(line) >= len(owner) && line[:len(owner)] == owner {
+			return true
+		}
+	}
+	return false
+}
+
+func splitLines(s string) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+// TestIXFRChainReconstruction is the acceptance contract: a secondary that
+// AXFRs at generation 1 and then applies a single IXFR spanning three
+// generation deltas (1→2→3→4) must hold a zone byte-identical to a fresh
+// AXFR of generation 4.
+func TestIXFRChainReconstruction(t *testing.T) {
+	clk := newMovableClock(time.Unix(1_700_000_000, 0))
+	s := NewStore()
+	s.SetPolicy(StalenessPolicy{
+		SweepInterval: 30 * time.Second,
+		MaxStaleness:  10 * time.Minute,
+		Clock:         clk.Now,
+	})
+	base := clk.Now()
+	seal := func(seq uint64, vs ...*Verdict) *Generation {
+		b := NewBuilder()
+		for _, v := range vs {
+			b.Add(v)
+		}
+		return b.Seal(seq, base)
+	}
+	evil := mkVerdict("evil.test", "192.0.2.1", core.CategoryMalicious, "198.51.100.7")
+	shady := mkVerdict("shady.test", "192.0.2.2", core.CategoryUnknown, "203.0.113.9")
+	planted := mkVerdict("planted.test", "192.0.2.3", core.CategoryMalicious, "198.51.100.44")
+	shadyEsc := mkVerdict("shady.test", "192.0.2.2", core.CategoryMalicious, "203.0.113.9")
+	fresh := mkVerdict("fresh.test", "192.0.2.4", core.CategoryUnknown, "203.0.113.77")
+
+	server := startXfrZone(t, xfrResponder(s))
+
+	// Secondary AXFRs at generation 1.
+	s.Publish(seal(1, evil, shady))
+	mirror := NewMirror()
+	if err := mirror.Apply(transfer(t, server, dns.TypeAXFR, 0)); err != nil {
+		t.Fatalf("seed AXFR: %v", err)
+	}
+	if mirror.Serial() != 1 {
+		t.Fatalf("seed mirror serial = %d, want 1", mirror.Serial())
+	}
+
+	// Primary publishes three more generations.
+	s.Publish(seal(2, evil, shady, planted))
+	s.Publish(seal(3, evil, shadyEsc, planted))
+	s.Publish(seal(4, shadyEsc, planted, fresh))
+
+	// One IXFR spans all three deltas.
+	ires := transfer(t, server, dns.TypeIXFR, mirror.Serial())
+	if !ires.Incremental() {
+		t.Fatalf("IXFR from serial 1 fell back to full body (messages=%d records=%d)",
+			ires.Messages, len(ires.Records))
+	}
+	if err := mirror.Apply(ires); err != nil {
+		t.Fatalf("apply IXFR chain: %v", err)
+	}
+	if mirror.Serial() != 4 {
+		t.Fatalf("mirror serial after IXFR = %d, want 4", mirror.Serial())
+	}
+
+	// Byte-identity against a fresh full transfer.
+	fresh4 := NewMirror()
+	if err := fresh4.Apply(transfer(t, server, dns.TypeAXFR, 0)); err != nil {
+		t.Fatalf("fresh AXFR: %v", err)
+	}
+	if got, want := mirror.ZoneText(), fresh4.ZoneText(); got != want {
+		t.Fatalf("IXFR-reconstructed zone differs from fresh AXFR:\n--- ixfr\n%s\n--- axfr\n%s", got, want)
+	}
+}
+
+// TestIXFRUpToDate: a secondary already at the current serial gets the
+// single-SOA reply.
+func TestIXFRUpToDate(t *testing.T) {
+	clk := newMovableClock(time.Unix(1_700_000_000, 0))
+	s := xfrTestStore(t, clk.Now)
+	server := startXfrZone(t, xfrResponder(s))
+
+	res := transfer(t, server, dns.TypeIXFR, 4)
+	if len(res.Records) != 1 {
+		t.Fatalf("up-to-date IXFR returned %d records, want 1", len(res.Records))
+	}
+	if serial, ok := res.Serial(); !ok || serial != 4 {
+		t.Fatalf("up-to-date IXFR serial = %d (ok=%v), want 4", serial, ok)
+	}
+	m := NewMirror()
+	if err := m.Apply(transfer(t, server, dns.TypeAXFR, 0)); err != nil {
+		t.Fatalf("AXFR: %v", err)
+	}
+	if err := m.Apply(res); err != nil {
+		t.Fatalf("apply up-to-date reply: %v", err)
+	}
+}
+
+// TestIXFRFallbackToAXFR: a serial that predates the retention window gets a
+// full AXFR-style body instead of a delta, and the mirror resyncs from it.
+func TestIXFRFallbackToAXFR(t *testing.T) {
+	clk := newMovableClock(time.Unix(1_700_000_000, 0))
+	s := NewStore()
+	s.SetPolicy(StalenessPolicy{
+		SweepInterval: 30 * time.Second,
+		Retain:        2, // only the last two generations are delta-servable
+		Clock:         clk.Now,
+	})
+	base := clk.Now()
+	seal := func(seq uint64, vs ...*Verdict) *Generation {
+		b := NewBuilder()
+		b.Add(mkVerdict("evil.test", "192.0.2.1", core.CategoryMalicious, "198.51.100.7"))
+		for _, v := range vs {
+			b.Add(v)
+		}
+		return b.Seal(seq, base)
+	}
+	s.Publish(seal(1))
+	s.Publish(seal(2, mkVerdict("a.test", "192.0.2.9", core.CategoryUnknown, "203.0.113.1")))
+	s.Publish(seal(3, mkVerdict("b.test", "192.0.2.9", core.CategoryUnknown, "203.0.113.2")))
+	s.Publish(seal(4, mkVerdict("c.test", "192.0.2.9", core.CategoryUnknown, "203.0.113.3")))
+
+	server := startXfrZone(t, xfrResponder(s))
+	res := transfer(t, server, dns.TypeIXFR, 1) // serial 1 fell out of the ring
+	if res.Incremental() {
+		t.Fatal("IXFR for an evicted serial must fall back to a full body")
+	}
+	m := NewMirror()
+	if err := m.Apply(res); err != nil {
+		t.Fatalf("apply fallback body: %v", err)
+	}
+	if m.Serial() != 4 {
+		t.Fatalf("resynced mirror serial = %d, want 4", m.Serial())
+	}
+
+	// A retained serial still gets a real delta.
+	res = transfer(t, server, dns.TypeIXFR, 3)
+	if !res.Incremental() {
+		t.Fatal("IXFR for a retained serial must be incremental")
+	}
+}
+
+// TestXfrACL: transfers are disabled with no allowlist and REFUSED for
+// non-matching sources; ordinary queries are unaffected either way.
+func TestXfrACL(t *testing.T) {
+	clk := newMovableClock(time.Unix(1_700_000_000, 0))
+	s := xfrTestStore(t, clk.Now)
+
+	// nil allowlist: transfers disabled outright.
+	server := startXfrZone(t, &ZoneResponder{Apex: testApex, Store: s})
+	res := transfer(t, server, dns.TypeAXFR, 0)
+	if res.RCode != dns.RCodeRefused {
+		t.Fatalf("AXFR with nil allowlist: rcode %s, want REFUSED", res.RCode)
+	}
+	if len(res.Records) != 0 {
+		t.Fatalf("refused transfer leaked %d records", len(res.Records))
+	}
+
+	// Allowlist that excludes the client: REFUSED too.
+	server = startXfrZone(t, &ZoneResponder{
+		Apex: testApex, Store: s, XferACL: MustParseACL("10.0.0.0/8"),
+	})
+	if res := transfer(t, server, dns.TypeAXFR, 0); res.RCode != dns.RCodeRefused {
+		t.Fatalf("AXFR from non-allowlisted source: rcode %s, want REFUSED", res.RCode)
+	}
+	if res := transfer(t, server, dns.TypeIXFR, 1); res.RCode != dns.RCodeRefused {
+		t.Fatalf("IXFR from non-allowlisted source: rcode %s, want REFUSED", res.RCode)
+	}
+	// The same client can still make ordinary queries over the same server.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	cli := dnsio.NewClient(&dnsio.NetTransport{})
+	reply, err := cli.Query(ctx, server, DomainName("planted.test", testApex), dns.TypeA)
+	if err != nil {
+		t.Fatalf("ordinary query: %v", err)
+	}
+	if reply.Header.RCode != dns.RCodeSuccess {
+		t.Fatalf("ordinary query rcode %s, want NOERROR", reply.Header.RCode)
+	}
+}
+
+// TestXfrOverUDP: AXFR is TCP-only and REFUSED over UDP even for allowlisted
+// clients; an allowlisted UDP IXFR gets the single-SOA steer to TCP.
+func TestXfrOverUDP(t *testing.T) {
+	clk := newMovableClock(time.Unix(1_700_000_000, 0))
+	z := xfrResponder(xfrTestStore(t, clk.Now))
+	src := netip.MustParseAddr("127.0.0.1")
+
+	q := dns.NewQuery(9, testApex, dns.TypeAXFR)
+	if r := z.HandleQuery(src, q); r.Header.RCode != dns.RCodeRefused {
+		t.Fatalf("UDP AXFR rcode %s, want REFUSED", r.Header.RCode)
+	}
+	q = dns.NewQuery(10, testApex, dns.TypeIXFR)
+	r := z.HandleQuery(src, q)
+	if r.Header.RCode != dns.RCodeSuccess || len(r.Answers) != 1 {
+		t.Fatalf("UDP IXFR: rcode %s answers %d, want NOERROR with single SOA", r.Header.RCode, len(r.Answers))
+	}
+	if soa, ok := r.Answers[0].Data.(*dns.SOA); !ok || soa.Serial != 4 {
+		t.Fatalf("UDP IXFR answer = %v, want current SOA serial 4", r.Answers[0])
+	}
+	// Non-allowlisted UDP transfer questions are refused.
+	if r := z.HandleQuery(netip.MustParseAddr("203.0.113.5"), dns.NewQuery(11, testApex, dns.TypeIXFR)); r.Header.RCode != dns.RCodeRefused {
+		t.Fatalf("non-allowlisted UDP IXFR rcode %s, want REFUSED", r.Header.RCode)
+	}
+}
+
+// TestNotifyRoundTrip: dnsio.Notify reaches a served zone and is acked for
+// allowlisted sources; the direct handler refuses others.
+func TestNotifyRoundTrip(t *testing.T) {
+	clk := newMovableClock(time.Unix(1_700_000_000, 0))
+	s := xfrTestStore(t, clk.Now)
+	z := xfrResponder(s)
+	srv := dnsio.NewServer(z)
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatalf("start: %v", err)
+	}
+	t.Cleanup(func() { _ = srv.Close() })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := dnsio.Notify(ctx, srv.UDPAddr(), testApex, 4); err != nil {
+		t.Fatalf("notify: %v", err)
+	}
+
+	// Direct handler checks for both ACL outcomes.
+	nq := &dns.Message{
+		Header:    dns.Header{ID: 7, OpCode: dns.OpNotify, Authoritative: true},
+		Questions: []dns.Question{{Name: testApex, Type: dns.TypeSOA, Class: dns.ClassINET}},
+	}
+	if r := z.HandleQuery(netip.MustParseAddr("127.0.0.1"), nq); r.Header.RCode != dns.RCodeSuccess {
+		t.Fatalf("allowlisted NOTIFY rcode %s, want NOERROR ack", r.Header.RCode)
+	}
+	if r := z.HandleQuery(netip.MustParseAddr("203.0.113.5"), nq); r.Header.RCode != dns.RCodeRefused {
+		t.Fatalf("non-allowlisted NOTIFY rcode %s, want REFUSED", r.Header.RCode)
+	}
+}
+
+// TestACLParse covers the allowlist parser and matcher.
+func TestACLParse(t *testing.T) {
+	a, err := ParseACL("127.0.0.0/8, 10.2.3.4 ,::1")
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for addr, want := range map[string]bool{
+		"127.0.0.1":        true,
+		"127.255.255.254":  true,
+		"10.2.3.4":         true,
+		"10.2.3.5":         false,
+		"::1":              true,
+		"::ffff:127.0.0.1": true, // 4-in-6 mapped unwraps to the v4 prefix
+		"192.0.2.1":        false,
+	} {
+		if got := a.Contains(netip.MustParseAddr(addr)); got != want {
+			t.Errorf("Contains(%s) = %v, want %v", addr, got, want)
+		}
+	}
+	if nilACL, err := ParseACL("  "); err != nil || nilACL != nil {
+		t.Fatalf("blank ACL = %v, %v; want nil, nil", nilACL, err)
+	}
+	var none *ACL
+	if none.Contains(netip.MustParseAddr("127.0.0.1")) {
+		t.Fatal("nil ACL must contain nothing")
+	}
+	if _, err := ParseACL("not-an-addr"); err == nil {
+		t.Fatal("bad entry must error")
+	}
+}
