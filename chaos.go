@@ -1,0 +1,35 @@
+package repro
+
+import (
+	"repro/internal/dnsio"
+	"repro/internal/simnet"
+)
+
+// ApplyDeterministicChaos injects a fixed fault pattern into a generated
+// world: the first nameserver answers SERVFAIL, the second blackholes every
+// query, the third corrupts every response's transaction ID. All three
+// faults are sequence-independent — the outcome of a probe depends only on
+// which server it hits, never on how many queries ran before it — so any
+// two processes that generate the same world (same scale, same seed) and
+// call this produce identical sweep results. That is what lets a sharded
+// fleet run under chaos and still merge to a report byte-identical to a
+// single-process reference.
+//
+// Worlds with fewer than three nameservers get the prefix that fits. The
+// returned count is how many servers were faulted.
+func ApplyDeterministicChaos(w *World) int {
+	profiles := []simnet.FaultProfile{
+		{ServFail: true},
+		{Blackhole: true},
+		{WrongIDRate: 1},
+	}
+	n := 0
+	for i, p := range profiles {
+		if i >= len(w.Nameservers) {
+			break
+		}
+		dnsio.SetSimFault(w.Fabric, w.Nameservers[i].Addr, p)
+		n++
+	}
+	return n
+}

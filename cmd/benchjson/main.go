@@ -21,6 +21,8 @@ import (
 	"runtime"
 	"sort"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -28,9 +30,30 @@ import (
 	"repro/internal/core"
 	"repro/internal/dns"
 	"repro/internal/dnsio"
+	"repro/internal/fleet"
 	"repro/internal/simnet"
 	"repro/internal/urwatch"
 )
+
+// delayTransport adds real-time latency to the instant simulated fabric,
+// turning the sweep into the network-bound workload a distributed sweep
+// actually amortizes. The delay is paid as one accurate d-length sleep every
+// `every` exchanges rather than d/every per exchange — sub-millisecond
+// sleeps oversleep by an order of magnitude on Linux, which would silently
+// multiply the simulated latency. Used by ShardedSweep.
+type delayTransport struct {
+	inner dnsio.Transport
+	d     time.Duration
+	every int64
+	n     atomic.Int64
+}
+
+func (t *delayTransport) Exchange(ctx context.Context, server netip.AddrPort, packed []byte, tcp bool) ([]byte, error) {
+	if t.n.Add(1)%t.every == 0 {
+		time.Sleep(t.d)
+	}
+	return t.inner.Exchange(ctx, server, packed, tcp)
+}
 
 // benchResult is one benchmark's summary in the output file.
 type benchResult struct {
@@ -62,6 +85,10 @@ func main() {
 		"exit 1 if FlatStoreFootprint's bytes_per_verdict exceeds this (0 disables the gate)")
 	maxColdstart := flag.Float64("max-coldstart-ms", 0,
 		"exit 1 if SnapshotColdStart's coldstart_ms exceeds this (0 disables the gate)")
+	minShardedSpeedup := flag.Float64("min-sharded-speedup-2w", 0,
+		"exit 1 if ShardedSweep's speedup_vs_1worker_2w_x falls below this (0 disables the gate)")
+	maxMergeOverhead := flag.Float64("max-merge-overhead-pct", 0,
+		"exit 1 if ShardedSweep's merge_overhead_% exceeds this (0 disables the gate)")
 	flag.Parse()
 
 	env, err := repro.NewEnv(context.Background(), repro.TinyScale(), *seed)
@@ -311,6 +338,139 @@ func main() {
 		}
 		b.ReportMetric(float64(len(suspicious))*float64(b.N)/b.Elapsed().Seconds(), "records/sec")
 		b.ReportMetric(float64(workers), "workers")
+	})
+	// ShardedSweep measures what the coordinator/worker fan-out buys: each
+	// iteration runs the single-process pipeline and then full fleet runs
+	// (coordinator + N in-process workers over loopback TCP, shard journals,
+	// merge, merged-report pipeline) at 1, 2, and 4 workers, all back to
+	// back. The simulated fabric answers instantly, which would make the
+	// sweep CPU-bound and hide exactly the cost fan-out amortizes, so every
+	// config gets a transport that adds an average real 100µs per exchange —
+	// the sweep becomes network-bound the way a real fleet run is, and
+	// latency-parked workers overlap even on one core. Every sweep runs with
+	// Parallelism=1 so the worker count is the only parallelism knob.
+	// speedup_vs_1worker_{2w,4w}_x are MEDIANS of the per-iteration
+	// fleet(1)/fleet(N) wall-clock ratios (same estimator rationale as
+	// JournaledPipeline); merge_overhead_% is the median cost of the whole
+	// fleet apparatus — shard journals, TCP coordination, journal merge, and
+	// the merged replay — over the plain single-process run, measured at 1
+	// worker where no fan-out win can hide it.
+	run("ShardedSweep", func(b *testing.B) {
+		const (
+			exchangeDelay = time.Millisecond
+			delayEvery    = 10 // avg 100µs/exchange, paid in accurate 1ms sleeps
+		)
+		workerCounts := []int{1, 2, 4}
+		maxWorkers := workerCounts[len(workerCounts)-1]
+		// One world per in-process "process", generated outside the timer:
+		// real fleet workers each generate their own same-seed world, and the
+		// benchmark reproduces that isolation.
+		newWorld := func() *repro.World {
+			w, err := repro.GenerateWorld(repro.TinyScale(), *seed)
+			if err != nil {
+				b.Fatal(err)
+			}
+			return w
+		}
+		slowCfg := func(w *repro.World) *core.Config {
+			cfg := w.URHunterConfig()
+			cfg.Parallelism, cfg.DetermineWorkers = 1, 1
+			cfg.Transport = &delayTransport{
+				inner: &dnsio.SimTransport{Fabric: cfg.Fabric, Src: cfg.SrcAddr},
+				d:     exchangeDelay, every: delayEvery,
+			}
+			return cfg
+		}
+		singleWorld := newWorld()
+		coordWorld := newWorld()
+		workerWorlds := make([]*repro.World, maxWorkers)
+		for i := range workerWorlds {
+			workerWorlds[i] = newWorld()
+		}
+		fleetRun := func(nWorkers int) time.Duration {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "benchfleet")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer os.RemoveAll(dir)
+			b.StartTimer()
+			t0 := time.Now()
+			co, err := fleet.NewCoordinator(slowCfg(coordWorld), fleet.CoordOptions{
+				Dir: dir, Shards: nWorkers, StealAfter: time.Hour,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := co.Listen("127.0.0.1:0"); err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			runErr := make(chan error, 1)
+			go func() { runErr <- co.Run(ctx) }()
+			var wg sync.WaitGroup
+			for i := 0; i < nWorkers; i++ {
+				wg.Add(1)
+				go func(i int) {
+					defer wg.Done()
+					err := fleet.RunWorker(ctx, co.Addr().String(), slowCfg(workerWorlds[i]),
+						fleet.WorkerOptions{Name: fmt.Sprintf("bench-%d", i), Parallelism: 1})
+					if err != nil {
+						b.Error(err)
+					}
+				}(i)
+			}
+			wg.Wait()
+			if err := <-runErr; err != nil {
+				b.Fatal(err)
+			}
+			if _, err := co.Finish(ctx); err != nil {
+				b.Fatal(err)
+			}
+			return time.Since(t0)
+		}
+		median := func(xs []float64) float64 {
+			sort.Float64s(xs)
+			mid := len(xs) / 2
+			if len(xs)%2 == 0 {
+				return (xs[mid-1] + xs[mid]) / 2
+			}
+			return xs[mid]
+		}
+		var speedup2, speedup4, overheads []float64
+		var singleNs, fleet1Ns int64
+		for i := 0; i < b.N; i++ {
+			t0 := time.Now()
+			if _, err := core.NewPipeline(slowCfg(singleWorld)).Run(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			tSingle := time.Since(t0)
+			t1 := fleetRun(1)
+			t2 := fleetRun(2)
+			t4 := fleetRun(4)
+			singleNs += tSingle.Nanoseconds()
+			fleet1Ns += t1.Nanoseconds()
+			if t2 > 0 {
+				speedup2 = append(speedup2, float64(t1)/float64(t2))
+			}
+			if t4 > 0 {
+				speedup4 = append(speedup4, float64(t1)/float64(t4))
+			}
+			if tSingle > 0 {
+				overheads = append(overheads, 100*float64(t1-tSingle)/float64(tSingle))
+			}
+		}
+		b.ReportMetric(float64(singleNs)/float64(b.N), "single_ns_per_op")
+		b.ReportMetric(float64(fleet1Ns)/float64(b.N), "fleet1_ns_per_op")
+		if len(speedup2) > 0 {
+			b.ReportMetric(median(speedup2), "speedup_vs_1worker_2w_x")
+		}
+		if len(speedup4) > 0 {
+			b.ReportMetric(median(speedup4), "speedup_vs_1worker_4w_x")
+		}
+		if len(overheads) > 0 {
+			b.ReportMetric(median(overheads), "merge_overhead_%")
+		}
 	})
 	run("CollectorSweep", func(b *testing.B) {
 		cfg := env.World.URHunterConfig()
@@ -613,5 +773,29 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "cold-start gate: %.3fms <= %.3fms\n", got, *maxColdstart)
+	}
+	if *minShardedSpeedup > 0 {
+		got, ok := rep.Benchmarks["ShardedSweep"].Extra["speedup_vs_1worker_2w_x"]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchjson: gate: ShardedSweep reported no speedup_vs_1worker_2w_x")
+			os.Exit(1)
+		}
+		if got < *minShardedSpeedup {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: speedup_vs_1worker_2w_x %.2f below the %.2f floor\n", got, *minShardedSpeedup)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "sharded speedup gate: %.2fx >= %.2fx\n", got, *minShardedSpeedup)
+	}
+	if *maxMergeOverhead > 0 {
+		got, ok := rep.Benchmarks["ShardedSweep"].Extra["merge_overhead_%"]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchjson: gate: ShardedSweep reported no merge_overhead_%")
+			os.Exit(1)
+		}
+		if got > *maxMergeOverhead {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: merge_overhead_%% %.2f exceeds the %.2f limit\n", got, *maxMergeOverhead)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "merge overhead gate: %.2f%% <= %.2f%%\n", got, *maxMergeOverhead)
 	}
 }

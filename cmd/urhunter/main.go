@@ -6,18 +6,27 @@
 //
 //	urhunter [-scale tiny|small|paper] [-seed N] [-top N] [-domains N]
 //	         [-journal DIR | -resume DIR] [-checkpoint-every N]
-//	         [-determine-workers N]
+//	         [-determine-workers N] [-chaos] [-pprof ADDR]
+//	urhunter -worker ADDR [-worker-name NAME] [-scale ...] [-seed N] [-chaos]
 //
 // With -journal, every answered probe is checkpointed into DIR as the sweep
 // runs; a run killed by SIGINT/SIGTERM (first signal drains gracefully,
 // second hard-exits) can be continued with -resume DIR, skipping every
 // already-answered probe and producing a byte-identical report.
+//
+// With -worker, urhunter is a fleet worker instead: it generates the same
+// world (same -scale/-seed/-chaos as the urcoord coordinator), connects to
+// ADDR, and sweeps the shards it is assigned until the coordinator sends
+// shutdown. The report comes from the coordinator's merge, not the worker.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -25,6 +34,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/fleet"
 )
 
 func main() {
@@ -39,11 +49,21 @@ func main() {
 	resumeDir := flag.String("resume", "", "resume a checkpointed run from this directory")
 	ckptEvery := flag.Int("checkpoint-every", 0, "flush the journal every N records (0 = default)")
 	detWorkers := flag.Int("determine-workers", 0, "streaming classification workers (0 = inherit sweep parallelism); any value yields byte-identical reports")
+	chaos := flag.Bool("chaos", false, "inject the deterministic fault pattern (fleet runs must match the coordinator)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
+	workerAddr := flag.String("worker", "", "run as a fleet worker for the urcoord coordinator at this address")
+	workerName := flag.String("worker-name", "", "worker identity in coordinator logs (default host:pid)")
+	workerDieAt := flag.Int64("worker-die-at-records", 0, "kill this worker once its shard journal holds N records (fleet fault-injection hook)")
 	flag.Parse()
 
 	if *journalDir != "" && *resumeDir != "" {
 		fmt.Fprintln(os.Stderr, "urhunter: -journal and -resume are mutually exclusive (both name the same directory)")
 		os.Exit(2)
+	}
+	if *pprofAddr != "" {
+		go func() {
+			fmt.Fprintf(os.Stderr, "urhunter: pprof: %v\n", http.ListenAndServe(*pprofAddr, nil))
+		}()
 	}
 
 	scale, ok := repro.ScaleByName(*scaleName)
@@ -59,9 +79,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "urhunter: generate: %v\n", err)
 		os.Exit(1)
 	}
+	if *chaos {
+		n := repro.ApplyDeterministicChaos(world)
+		fmt.Printf("chaos: %d nameservers faulted (servfail, blackhole, wrong-id)\n", n)
+	}
 	fmt.Printf("world ready in %v: %d nameservers, %d targets, %d open resolvers, %d malware samples\n",
 		time.Since(start).Round(time.Millisecond), len(world.Nameservers),
 		len(world.Targets), len(world.Resolvers.Resolvers), len(world.Samples))
+
+	if *workerAddr != "" {
+		os.Exit(runWorker(world, *workerAddr, *workerName, *workerDieAt, *ckptEvery))
+	}
 
 	// First SIGINT/SIGTERM cancels the sweep context: in-flight probes
 	// finish, the journal flushes, and the partial coverage books print.
@@ -161,6 +189,43 @@ func main() {
 		}
 		fmt.Printf("wrote CSV export to %s\n", *csvOut)
 	}
+}
+
+// runWorker runs the fleet-worker mode: sweep shards for the coordinator at
+// addr until it sends shutdown. Returns the process exit code.
+func runWorker(world *repro.World, addr, name string, dieAt int64, ckptEvery int) int {
+	log.SetFlags(log.Ltime)
+	if name == "" {
+		host, _ := os.Hostname()
+		name = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 2)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		fmt.Fprintln(os.Stderr, "urhunter: signal received, leaving fleet")
+		cancel()
+		<-sig
+		os.Exit(130)
+	}()
+
+	err := fleet.RunWorker(ctx, addr, world.URHunterConfig(), fleet.WorkerOptions{
+		Name:            name,
+		CheckpointEvery: ckptEvery,
+		DieAtRecords:    dieAt,
+		// Real process death: records past the last journal checkpoint are
+		// lost and the coordinator must re-issue the shard.
+		Die:  func() { os.Exit(7) },
+		Logf: log.Printf,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "urhunter: worker: %v\n", err)
+		return 1
+	}
+	return 0
 }
 
 // writeFile creates path and runs the writer against it.

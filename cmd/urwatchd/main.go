@@ -58,6 +58,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	_ "net/http/pprof"
 	"net/netip"
 	"os"
 	"strings"
@@ -94,6 +95,7 @@ type daemonConfig struct {
 	zoneAllow     string
 	notify        string
 	failSweeps    int
+	pprofAddr     string
 }
 
 func main() {
@@ -118,7 +120,16 @@ func main() {
 	flag.StringVar(&cfg.zoneAllow, "zone-allow", "", "CIDR allowlist for DNSBL queries (empty = open)")
 	flag.StringVar(&cfg.notify, "notify", "", "comma-separated addr:port secondaries to NOTIFY on publish")
 	flag.IntVar(&cfg.failSweeps, "fail-sweeps", 0, "inject N consecutive sweep failures after the first success (chaos hook)")
+	flag.StringVar(&cfg.pprofAddr, "pprof", "", "serve net/http/pprof on this address")
 	flag.Parse()
+
+	if cfg.pprofAddr != "" {
+		// The daemon's own API uses a dedicated mux, so the pprof handlers on
+		// http.DefaultServeMux are only reachable through this listener.
+		go func() {
+			fmt.Fprintf(os.Stderr, "urwatchd: pprof: %v\n", http.ListenAndServe(cfg.pprofAddr, nil))
+		}()
+	}
 
 	if err := run(cfg); err != nil {
 		fmt.Fprintf(os.Stderr, "urwatchd: %v\n", err)

@@ -97,6 +97,28 @@ type Config struct {
 	// policy: active only over transports that can actually block — the
 	// in-memory fabric completes synchronously and cannot stall a worker.
 	Watchdog *WatchdogConfig
+
+	// CollectOnly stops the pipeline after collection and journaling:
+	// records are swept into Result.URs but never classified or analyzed.
+	// Fleet workers run shards collect-only — determination needs the whole
+	// plan's correct-record database, so it happens once, on the merged
+	// journal, not per shard.
+	CollectOnly bool
+
+	// SkipServer, when non-nil, is consulted as each server unit (open
+	// resolver or nameserver) comes up for sweeping; returning true drops
+	// the unit without querying it. The check happens per job at dispatch
+	// time — not when the plan is built — so a fleet worker can shed the
+	// yielded tail of its shard mid-run. Skipped units still count toward
+	// the plan hash: the journal stays mergeable with the journal of
+	// whoever swept them instead.
+	SkipServer func(netip.Addr) bool
+
+	// ServerDone, when non-nil, observes each server unit whose sweep job
+	// completed without error, from the worker goroutine that ran it. Fleet
+	// workers use it to report shard progress; the callback must be safe
+	// for concurrent use and fast (it runs on the sweep path).
+	ServerDone func(netip.Addr)
 }
 
 func (c *Config) politeInterval() time.Duration {
@@ -543,11 +565,16 @@ func (c *Collector) CollectURs(ctx context.Context) ([]*UR, error) {
 				if localErr != nil {
 					continue // keep draining so the feeder never blocks
 				}
+				if skip := c.cfg.SkipServer; skip != nil && skip(ns.Addr) {
+					continue
+				}
 				urs, err := c.collectFromNS(ctx, ns, seg, slot)
 				local = append(local, urs...)
 				if err != nil {
 					localErr = err
 					stop.Store(true)
+				} else if done := c.cfg.ServerDone; done != nil {
+					done(ns.Addr)
 				}
 			}
 			mu.Lock()
@@ -904,9 +931,14 @@ func (c *Collector) CollectCorrect(ctx context.Context) (*CorrectDB, error) {
 				if localErr != nil {
 					continue // keep draining so the feeder never blocks
 				}
+				if skip := c.cfg.SkipServer; skip != nil && skip(resolver) {
+					continue
+				}
 				if err := c.collectCorrectVia(ctx, db, resolver, seg, slot); err != nil {
 					localErr = err
 					stop.Store(true)
+				} else if done := c.cfg.ServerDone; done != nil {
+					done(resolver)
 				}
 			}
 			if localErr != nil {
@@ -1052,9 +1084,14 @@ func (c *Collector) CollectProtective(ctx context.Context) (*ProtectiveDB, error
 				if localErr != nil {
 					continue // keep draining so the feeder never blocks
 				}
+				if skip := c.cfg.SkipServer; skip != nil && skip(ns.Addr) {
+					continue
+				}
 				if err := c.collectProtectiveFrom(ctx, db, ns, canary, seg, slot); err != nil {
 					localErr = err
 					stop.Store(true)
+				} else if done := c.cfg.ServerDone; done != nil {
+					done(ns.Addr)
 				}
 			}
 			if localErr != nil {

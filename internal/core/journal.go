@@ -164,11 +164,61 @@ type Journal struct {
 	AppendHook func(total int64)
 }
 
-// manifest is the serialized journal identity.
+// manifest is the serialized journal identity. Shard journals additionally
+// record the full plan's hash and their shard descriptor, so a mismatched
+// resume or merge can say *what* is wrong (different plan vs different shard)
+// instead of only that the hashes differ.
 type manifest struct {
 	Version  int    `json:"version"`
 	PlanHash string `json:"plan_hash"`
 	Seed     int64  `json:"seed"`
+
+	// FullPlanHash is the unsharded plan's hash; empty on whole-plan
+	// journals, whose PlanHash already is the full hash.
+	FullPlanHash string `json:"full_plan_hash,omitempty"`
+	// Shard is the shard descriptor, nil on whole-plan journals.
+	Shard *shardManifest `json:"shard,omitempty"`
+}
+
+// shardManifest is ShardDesc in manifest form.
+type shardManifest struct {
+	Index int `json:"index"`
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+	Units int `json:"units"`
+}
+
+// ShardDesc identifies one contiguous shard of a probe plan: the half-open
+// range [Lo, Hi) over the plan's server units (open resolvers first, then
+// nameservers, both in config order) out of Units total. Index labels the
+// shard for logs and manifests and is part of the shard identity — a journal
+// written for shard 3 never resumes as shard 5, even over the same range.
+type ShardDesc struct {
+	Index int
+	Lo    int
+	Hi    int
+	Units int
+}
+
+func (sd ShardDesc) String() string {
+	return fmt.Sprintf("shard %d (units [%d,%d) of %d)", sd.Index, sd.Lo, sd.Hi, sd.Units)
+}
+
+// PlanUnits is the number of shardable work units in the plan: one per open
+// resolver plus one per nameserver. Sharding never splits a server across
+// shards — each endpoint's exchange order stays a pure function of the
+// configuration, which is what keeps chaos runs reproducible across
+// re-sharding.
+func (c *Config) PlanUnits() int {
+	return len(c.OpenResolvers) + len(c.Nameservers)
+}
+
+// ShardPlanHash extends a full plan hash with a shard descriptor, giving each
+// shard journal its own identity under the shared plan.
+func ShardPlanHash(fullPlan uint64, sd ShardDesc) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "full=%016x\nshard=%d:[%d,%d)/%d\n", fullPlan, sd.Index, sd.Lo, sd.Hi, sd.Units)
+	return h.Sum64()
 }
 
 // PlanHash fingerprints everything that defines the probe plan: the seed and
@@ -193,36 +243,73 @@ func (c *Config) PlanHash() uint64 {
 	return h.Sum64()
 }
 
+// journalIdentity is what a journal directory is bound to: the plan hash its
+// records belong under (the full plan hash for whole-plan journals, the
+// shard-extended hash for shard journals), the underlying full plan's hash,
+// and the shard descriptor when the journal covers only a slice of the plan.
+type journalIdentity struct {
+	plan  uint64
+	full  uint64
+	shard *ShardDesc
+	seed  int64
+}
+
 // OpenJournal opens (creating if needed) the checkpoint journal for one
-// sweep plan. If the directory already holds a journal, its manifest must
-// match the config's plan hash — resuming someone else's sweep would
+// whole sweep plan. If the directory already holds a journal, its manifest
+// must match the config's plan hash — resuming someone else's sweep would
 // silently skip the wrong probes — and every readable segment record is
 // replayed into memory; torn tails are detected and discarded.
 func OpenJournal(dir string, cfg *Config, opts JournalOptions) (*Journal, error) {
+	full := cfg.PlanHash()
+	return openJournal(dir, journalIdentity{plan: full, full: full, seed: cfg.Seed}, opts)
+}
+
+// OpenShardJournal opens the checkpoint journal for one shard of a larger
+// plan. cfg is the shard's own (sliced) config; fullPlan is the hash of the
+// complete plan the shard was cut from, and sd locates the shard inside it.
+// The directory's identity is the shard-extended plan hash, so a shard
+// journal resumes only as the same shard of the same plan — re-opening it
+// as a different shard, or as the whole plan, fails with an error that says
+// which mismatch happened.
+func OpenShardJournal(dir string, cfg *Config, fullPlan uint64, sd ShardDesc, opts JournalOptions) (*Journal, error) {
+	if sd.Lo < 0 || sd.Hi < sd.Lo || sd.Hi > sd.Units {
+		return nil, fmt.Errorf("journal: invalid %s", sd)
+	}
+	if got := cfg.PlanUnits(); got != sd.Hi-sd.Lo {
+		return nil, fmt.Errorf("journal: shard config has %d units, %s spans %d", got, sd, sd.Hi-sd.Lo)
+	}
+	desc := sd
+	return openJournal(dir, journalIdentity{
+		plan:  ShardPlanHash(fullPlan, sd),
+		full:  fullPlan,
+		shard: &desc,
+		seed:  cfg.Seed,
+	}, opts)
+}
+
+// openJournal is the shared open path: create-or-validate the manifest
+// against the caller's identity, then replay any existing segments.
+func openJournal(dir string, id journalIdentity, opts JournalOptions) (*Journal, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("journal: create dir: %w", err)
 	}
-	j := &Journal{dir: dir, opts: opts, planHash: cfg.PlanHash()}
+	j := &Journal{dir: dir, opts: opts, planHash: id.plan}
 	mpath := filepath.Join(dir, manifestName)
 	data, err := os.ReadFile(mpath)
 	switch {
 	case err == nil:
-		var m manifest
-		if err := json.Unmarshal(data, &m); err != nil {
-			return nil, fmt.Errorf("journal: manifest unreadable: %w", err)
+		m, err := parseManifest(data)
+		if err != nil {
+			return nil, err
 		}
-		if m.Version != journalVersion {
-			return nil, fmt.Errorf("journal: manifest version %d, want %d", m.Version, journalVersion)
-		}
-		if m.PlanHash != fmt.Sprintf("%016x", j.planHash) {
-			return nil, fmt.Errorf("journal: directory %s belongs to a different sweep plan (manifest %s, config %016x)",
-				dir, m.PlanHash, j.planHash)
+		if err := matchManifest(dir, m, id); err != nil {
+			return nil, err
 		}
 		if err := j.replayDir(); err != nil {
 			return nil, err
 		}
 	case os.IsNotExist(err):
-		if err := j.writeManifest(mpath, cfg.Seed); err != nil {
+		if err := writeManifest(mpath, id); err != nil {
 			return nil, err
 		}
 	default:
@@ -231,10 +318,69 @@ func OpenJournal(dir string, cfg *Config, opts JournalOptions) (*Journal, error)
 	return j, nil
 }
 
+// parseManifest decodes and version-checks a manifest file's bytes.
+func parseManifest(data []byte) (manifest, error) {
+	var m manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return m, fmt.Errorf("journal: manifest unreadable: %w", err)
+	}
+	if m.Version != journalVersion {
+		return m, fmt.Errorf("journal: manifest version %d, want %d", m.Version, journalVersion)
+	}
+	return m, nil
+}
+
+// fullHashHex is the manifest's full-plan hash: shard manifests carry it
+// explicitly; a whole-plan manifest's plan hash is the full hash.
+func (m manifest) fullHashHex() string {
+	if m.Shard != nil {
+		return m.FullPlanHash
+	}
+	return m.PlanHash
+}
+
+// matchManifest checks an existing journal's identity against the opener's,
+// distinguishing the ways they can disagree: a different underlying plan, a
+// shard journal opened as a whole plan (or vice versa), or the right plan
+// but the wrong shard. Each gets its own error so the operator knows whether
+// to change the config, pick a different directory, or run the merge step.
+func matchManifest(dir string, m manifest, id journalIdentity) error {
+	fullHex := fmt.Sprintf("%016x", id.full)
+	if got := m.fullHashHex(); got != fullHex {
+		return fmt.Errorf("journal: directory %s holds a different sweep plan (its plan hash %s, this config's %s): resume and merge refuse to mix plans",
+			dir, got, fullHex)
+	}
+	switch {
+	case m.Shard != nil && id.shard == nil:
+		return fmt.Errorf("journal: directory %s holds shard %d (units [%d,%d) of %d) of this plan, not the whole plan; merge shard journals into a fresh directory instead of resuming one directly",
+			dir, m.Shard.Index, m.Shard.Lo, m.Shard.Hi, m.Shard.Units)
+	case m.Shard == nil && id.shard != nil:
+		return fmt.Errorf("journal: directory %s holds the whole plan, not %s; point the shard at its own directory",
+			dir, *id.shard)
+	case m.Shard != nil && id.shard != nil:
+		have := ShardDesc{Index: m.Shard.Index, Lo: m.Shard.Lo, Hi: m.Shard.Hi, Units: m.Shard.Units}
+		if have != *id.shard {
+			return fmt.Errorf("journal: directory %s holds %s of this plan, asked to resume as %s: a shard journal resumes only as the same shard",
+				dir, have, *id.shard)
+		}
+	}
+	if m.PlanHash != fmt.Sprintf("%016x", id.plan) {
+		// Same full plan and same shard shape, yet the bound hash differs —
+		// only reachable if the hash scheme itself changed.
+		return fmt.Errorf("journal: directory %s belongs to a different sweep plan (manifest %s, config %016x)",
+			dir, m.PlanHash, id.plan)
+	}
+	return nil
+}
+
 // writeManifest creates the manifest atomically (temp file + rename) so a
 // kill during journal creation never leaves a half-written identity.
-func (j *Journal) writeManifest(path string, seed int64) error {
-	m := manifest{Version: journalVersion, PlanHash: fmt.Sprintf("%016x", j.planHash), Seed: seed}
+func writeManifest(path string, id journalIdentity) error {
+	m := manifest{Version: journalVersion, PlanHash: fmt.Sprintf("%016x", id.plan), Seed: id.seed}
+	if id.shard != nil {
+		m.FullPlanHash = fmt.Sprintf("%016x", id.full)
+		m.Shard = &shardManifest{Index: id.shard.Index, Lo: id.shard.Lo, Hi: id.shard.Hi, Units: id.shard.Units}
+	}
 	data, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		return err
@@ -640,4 +786,135 @@ func decodeFrame(p []byte, rs *replayState, count *uint64) error {
 		}
 	}
 	return nil
+}
+
+// MergeStats summarises a shard-journal merge.
+type MergeStats struct {
+	Dirs     int   // shard directories merged
+	Segments int   // segment files copied
+	Bytes    int64 // segment bytes copied
+}
+
+// MergeShardJournals combines per-shard journal directories into one fresh
+// whole-plan journal at dst. The merge is structural: each source's segments
+// are copied (renumbered sequentially) into dst and a whole-plan manifest is
+// written, after which OpenJournal(dst, cfg, ...) replays them through the
+// ordinary resume path — first-wins on duplicate probes (re-swept stolen
+// tails), answered-beats-failed, missing probes live-swept. That replay is
+// the merge semantics; this function only validates that the pieces belong
+// together:
+//
+//   - every source manifest must carry cfg's full plan hash (shard journals
+//     via full_plan_hash, whole-plan journals directly);
+//   - shard descriptors must agree on the unit total and, unioned, cover
+//     every unit in [0, PlanUnits) — a gap means a shard journal is missing
+//     and the merged report would silently re-sweep (or worse, under a
+//     CollectOnly worker, drop) its probes.
+//
+// Overlapping shards are fine (work stealing re-sweeps stolen tails on
+// purpose); duplicate records resolve first-wins at replay.
+func MergeShardJournals(dst string, cfg *Config, srcDirs []string) (MergeStats, error) {
+	var st MergeStats
+	if len(srcDirs) == 0 {
+		return st, fmt.Errorf("journal: merge: no source directories")
+	}
+	units := cfg.PlanUnits()
+	fullHex := fmt.Sprintf("%016x", cfg.PlanHash())
+	if err := os.MkdirAll(dst, 0o755); err != nil {
+		return st, fmt.Errorf("journal: merge: create %s: %w", dst, err)
+	}
+	mpath := filepath.Join(dst, manifestName)
+	if _, err := os.Stat(mpath); err == nil {
+		return st, fmt.Errorf("journal: merge: %s already holds a journal; merge into a fresh directory", dst)
+	} else if !os.IsNotExist(err) {
+		return st, fmt.Errorf("journal: merge: stat %s: %w", mpath, err)
+	}
+
+	// Validate every source before copying anything.
+	type interval struct{ lo, hi int }
+	var covered []interval
+	for _, src := range srcDirs {
+		data, err := os.ReadFile(filepath.Join(src, manifestName))
+		if err != nil {
+			return st, fmt.Errorf("journal: merge: %s: %w", src, err)
+		}
+		m, err := parseManifest(data)
+		if err != nil {
+			return st, fmt.Errorf("journal: merge: %s: %w", src, err)
+		}
+		if got := m.fullHashHex(); got != fullHex {
+			return st, fmt.Errorf("journal: merge: %s holds a different sweep plan (its plan hash %s, this config's %s): resume and merge refuse to mix plans",
+				src, got, fullHex)
+		}
+		if m.Shard == nil {
+			// A whole-plan journal merges as the full range.
+			covered = append(covered, interval{0, units})
+			continue
+		}
+		if m.Shard.Units != units {
+			return st, fmt.Errorf("journal: merge: %s was cut from a %d-unit plan, this config has %d units",
+				src, m.Shard.Units, units)
+		}
+		covered = append(covered, interval{m.Shard.Lo, m.Shard.Hi})
+	}
+	sort.Slice(covered, func(i, k int) bool {
+		if covered[i].lo != covered[k].lo {
+			return covered[i].lo < covered[k].lo
+		}
+		return covered[i].hi < covered[k].hi
+	})
+	reach := 0
+	for _, iv := range covered {
+		if iv.lo > reach {
+			return st, fmt.Errorf("journal: merge: shard journals leave units [%d,%d) uncovered — a shard directory is missing",
+				reach, iv.lo)
+		}
+		if iv.hi > reach {
+			reach = iv.hi
+		}
+	}
+	if reach < units {
+		return st, fmt.Errorf("journal: merge: shard journals leave units [%d,%d) uncovered — a shard directory is missing",
+			reach, units)
+	}
+
+	// Copy segments, renumbered into one sequence. Per-source segment order
+	// is preserved (sorted by name, as replay reads them); cross-source
+	// order is the srcDirs order, which does not matter — the replay rule
+	// set (first-wins answered, answered-beats-failed) is order-insensitive
+	// for the report because duplicate answers for one probe carry the same
+	// deterministic response bytes.
+	next := 0
+	for _, src := range srcDirs {
+		entries, err := os.ReadDir(src)
+		if err != nil {
+			return st, fmt.Errorf("journal: merge: scan %s: %w", src, err)
+		}
+		var segs []string
+		for _, e := range entries {
+			name := e.Name()
+			if strings.HasPrefix(name, segmentPrefix) && strings.HasSuffix(name, segmentSuffix) {
+				segs = append(segs, name)
+			}
+		}
+		sort.Strings(segs)
+		for _, name := range segs {
+			data, err := os.ReadFile(filepath.Join(src, name))
+			if err != nil {
+				return st, fmt.Errorf("journal: merge: read %s: %w", filepath.Join(src, name), err)
+			}
+			out := filepath.Join(dst, fmt.Sprintf("%s%05d%s", segmentPrefix, next, segmentSuffix))
+			if err := os.WriteFile(out, data, 0o644); err != nil {
+				return st, fmt.Errorf("journal: merge: write %s: %w", out, err)
+			}
+			next++
+			st.Segments++
+			st.Bytes += int64(len(data))
+		}
+		st.Dirs++
+	}
+	if err := writeManifest(mpath, journalIdentity{plan: cfg.PlanHash(), full: cfg.PlanHash(), seed: cfg.Seed}); err != nil {
+		return st, err
+	}
+	return st, nil
 }

@@ -125,9 +125,15 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	st := &StageTimings{}
 
 	// The analyzer's IDS pass over the sandbox corpus depends on no sweep;
-	// build it while collection runs.
+	// build it while collection runs. Collect-only runs (fleet shard
+	// workers) skip it — determination and analysis happen once, after the
+	// shard journals merge.
 	analyzerCh := make(chan *Analyzer, 1)
-	go func() { analyzerCh <- NewAnalyzer(p.Cfg) }()
+	if p.Cfg.CollectOnly {
+		analyzerCh <- nil
+	} else {
+		go func() { analyzerCh <- NewAnalyzer(p.Cfg) }()
+	}
 
 	protective := NewProtectiveDB()
 	if p.Determiner == nil {
@@ -191,7 +197,7 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 			<-correctDone
 			var local []*UR
 			var memo *detMemo
-			if det.correct != nil {
+			if det.correct != nil && !p.Cfg.CollectOnly {
 				memo = newDetMemo()
 			}
 			for batch := range stream {
@@ -227,16 +233,22 @@ func (p *Pipeline) Run(ctx context.Context) (*Result, error) {
 	}
 	sortURs(urs)
 	var suspicious []*UR
-	for _, u := range urs {
-		if u.Category == CategoryUnknown {
-			suspicious = append(suspicious, u)
+	if !p.Cfg.CollectOnly {
+		// Unclassified records default to CategoryUnknown, so a collect-only
+		// run must not run this filter — every record would read suspicious.
+		for _, u := range urs {
+			if u.Category == CategoryUnknown {
+				suspicious = append(suspicious, u)
+			}
 		}
 	}
 
 	analyzer := <-analyzerCh
-	ta := time.Now()
-	analyzer.AnalyzeParallel(suspicious, workers)
-	st.Analyze = time.Since(ta)
+	if analyzer != nil {
+		ta := time.Now()
+		analyzer.AnalyzeParallel(suspicious, workers)
+		st.Analyze = time.Since(ta)
+	}
 	st.Wall = time.Since(t0)
 
 	return &Result{

@@ -1,0 +1,226 @@
+package core
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// shardSlice cuts the fixture config down to units [lo, hi) the way
+// fleet.ShardConfig does: resolvers occupy [0, R), nameservers [R, R+N).
+func shardSlice(cfg *Config, lo, hi int) *Config {
+	c := *cfg
+	r := len(cfg.OpenResolvers)
+	cl := func(v, lo, hi int) int {
+		if v < lo {
+			return lo
+		}
+		if v > hi {
+			return hi
+		}
+		return v
+	}
+	c.OpenResolvers = cfg.OpenResolvers[cl(lo, 0, r):cl(hi, 0, r)]
+	c.Nameservers = cfg.Nameservers[cl(lo-r, 0, len(cfg.Nameservers)):cl(hi-r, 0, len(cfg.Nameservers))]
+	return &c
+}
+
+// TestShardPlanHashDistinct pins that shard identity separates shards of one
+// plan and never collides with the plan itself.
+func TestShardPlanHashDistinct(t *testing.T) {
+	fx := newChaosFixture(t, 11)
+	full := fx.cfg.PlanHash()
+	a := ShardPlanHash(full, ShardDesc{Index: 0, Lo: 0, Hi: 4, Units: 7})
+	b := ShardPlanHash(full, ShardDesc{Index: 1, Lo: 4, Hi: 7, Units: 7})
+	c := ShardPlanHash(full, ShardDesc{Index: 1, Lo: 0, Hi: 4, Units: 7}) // same range, other index
+	if a == b || a == c || a == full || b == full {
+		t.Fatalf("shard hashes collide: full=%x a=%x b=%x c=%x", full, a, b, c)
+	}
+}
+
+// TestJournalMismatchErrors pins the four-way error taxonomy: each way a
+// journal directory can disagree with the opener names the actual conflict.
+func TestJournalMismatchErrors(t *testing.T) {
+	fx := newChaosFixture(t, 11)
+	full := fx.cfg.PlanHash()
+	sd0 := ShardDesc{Index: 0, Lo: 0, Hi: 4, Units: 7}
+	scfg := shardSlice(fx.cfg, 0, 4)
+
+	t.Run("different plan", func(t *testing.T) {
+		dir := t.TempDir()
+		j, err := OpenJournal(dir, fx.cfg, JournalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		other := newChaosFixture(t, 99)
+		_, err = OpenJournal(dir, other.cfg, JournalOptions{})
+		if err == nil || !strings.Contains(err.Error(), "holds a different sweep plan") ||
+			!strings.Contains(err.Error(), "refuse to mix plans") {
+			t.Fatalf("cross-plan open error = %v", err)
+		}
+	})
+
+	t.Run("shard dir opened as whole plan", func(t *testing.T) {
+		dir := t.TempDir()
+		j, err := OpenShardJournal(dir, scfg, full, sd0, JournalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		_, err = OpenJournal(dir, fx.cfg, JournalOptions{})
+		if err == nil || !strings.Contains(err.Error(), "holds shard 0") ||
+			!strings.Contains(err.Error(), "merge shard journals") {
+			t.Fatalf("shard-as-plan open error = %v", err)
+		}
+	})
+
+	t.Run("whole-plan dir opened as shard", func(t *testing.T) {
+		dir := t.TempDir()
+		j, err := OpenJournal(dir, fx.cfg, JournalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		_, err = OpenShardJournal(dir, scfg, full, sd0, JournalOptions{})
+		if err == nil || !strings.Contains(err.Error(), "holds the whole plan") {
+			t.Fatalf("plan-as-shard open error = %v", err)
+		}
+	})
+
+	t.Run("same plan different shard", func(t *testing.T) {
+		dir := t.TempDir()
+		j, err := OpenShardJournal(dir, scfg, full, sd0, JournalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		sd1 := ShardDesc{Index: 1, Lo: 0, Hi: 4, Units: 7}
+		_, err = OpenShardJournal(dir, scfg, full, sd1, JournalOptions{})
+		if err == nil || !strings.Contains(err.Error(), "resumes only as the same shard") {
+			t.Fatalf("cross-shard open error = %v", err)
+		}
+	})
+
+	t.Run("same shard resumes", func(t *testing.T) {
+		dir := t.TempDir()
+		j, err := OpenShardJournal(dir, scfg, full, sd0, JournalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		j, err = OpenShardJournal(dir, scfg, full, sd0, JournalOptions{})
+		if err != nil {
+			t.Fatalf("same-shard reopen: %v", err)
+		}
+		if !j.Resumed() {
+			t.Error("same-shard reopen did not resume")
+		}
+		j.Close()
+	})
+}
+
+// TestMergeShardJournalsValidation pins the merge preconditions: full
+// coverage of the unit range, one plan only, and a fresh destination.
+func TestMergeShardJournalsValidation(t *testing.T) {
+	fx := newChaosFixture(t, 11)
+	full := fx.cfg.PlanHash()
+	mkShard := func(t *testing.T, lo, hi, idx int) string {
+		dir := filepath.Join(t.TempDir(), "shard")
+		j, err := OpenShardJournal(dir, shardSlice(fx.cfg, lo, hi), full,
+			ShardDesc{Index: idx, Lo: lo, Hi: hi, Units: 7}, JournalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		return dir
+	}
+
+	t.Run("gap detected", func(t *testing.T) {
+		dirs := []string{mkShard(t, 0, 3, 0), mkShard(t, 5, 7, 2)} // [3,5) missing
+		_, err := MergeShardJournals(filepath.Join(t.TempDir(), "m"), fx.cfg, dirs)
+		if err == nil || !strings.Contains(err.Error(), "units [3,5) uncovered") {
+			t.Fatalf("gap merge error = %v", err)
+		}
+	})
+
+	t.Run("tail gap detected", func(t *testing.T) {
+		dirs := []string{mkShard(t, 0, 5, 0)}
+		_, err := MergeShardJournals(filepath.Join(t.TempDir(), "m"), fx.cfg, dirs)
+		if err == nil || !strings.Contains(err.Error(), "units [5,7) uncovered") {
+			t.Fatalf("tail-gap merge error = %v", err)
+		}
+	})
+
+	t.Run("cross-plan refused", func(t *testing.T) {
+		other := newChaosFixture(t, 99)
+		otherDir := filepath.Join(t.TempDir(), "other")
+		j, err := OpenJournal(otherDir, other.cfg, JournalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		dirs := []string{mkShard(t, 0, 5, 0), otherDir}
+		_, err = MergeShardJournals(filepath.Join(t.TempDir(), "m"), fx.cfg, dirs)
+		if err == nil || !strings.Contains(err.Error(), "refuse to mix plans") {
+			t.Fatalf("cross-plan merge error = %v", err)
+		}
+	})
+
+	t.Run("occupied destination refused", func(t *testing.T) {
+		dst := filepath.Join(t.TempDir(), "m")
+		j, err := OpenJournal(dst, fx.cfg, JournalOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		j.Close()
+		_, err = MergeShardJournals(dst, fx.cfg, []string{mkShard(t, 0, 7, 0)})
+		if err == nil || !strings.Contains(err.Error(), "already holds a journal") {
+			t.Fatalf("occupied-dst merge error = %v", err)
+		}
+	})
+
+	t.Run("overlap allowed", func(t *testing.T) {
+		// Work stealing produces overlapping shard ranges on purpose.
+		dirs := []string{mkShard(t, 0, 5, 0), mkShard(t, 3, 7, 1)}
+		dst := filepath.Join(t.TempDir(), "m")
+		st, err := MergeShardJournals(dst, fx.cfg, dirs)
+		if err != nil {
+			t.Fatalf("overlapping merge: %v", err)
+		}
+		if st.Dirs != 2 {
+			t.Errorf("merged %d dirs, want 2", st.Dirs)
+		}
+		// The merged directory is a plain whole-plan journal.
+		j, err := OpenJournal(dst, fx.cfg, JournalOptions{})
+		if err != nil {
+			t.Fatalf("open merged: %v", err)
+		}
+		j.Close()
+	})
+
+	t.Run("manifestless source refused", func(t *testing.T) {
+		empty := t.TempDir()
+		_, err := MergeShardJournals(filepath.Join(t.TempDir(), "m"), fx.cfg, []string{empty})
+		if err == nil || !os.IsNotExist(errUnwrapAll(err)) {
+			t.Fatalf("manifestless merge error = %v", err)
+		}
+	})
+}
+
+// errUnwrapAll walks to the innermost error.
+func errUnwrapAll(err error) error {
+	type unwrapper interface{ Unwrap() error }
+	for {
+		u, ok := err.(unwrapper)
+		if !ok {
+			return err
+		}
+		inner := u.Unwrap()
+		if inner == nil {
+			return err
+		}
+		err = inner
+	}
+}

@@ -100,11 +100,17 @@ func (c *Collector) collectNameservers(ctx context.Context, db *ProtectiveDB, em
 				if localErr != nil {
 					continue // keep draining so the feeder never blocks
 				}
+				if skip := c.cfg.SkipServer; skip != nil && skip(ns.Addr) {
+					continue
+				}
 				urs, err := c.collectNSFused(ctx, ns, canary, db, seg, slot)
 				if err != nil {
 					localErr = err
 					stop.Store(true)
 					continue
+				}
+				if done := c.cfg.ServerDone; done != nil {
+					done(ns.Addr)
 				}
 				emit(urs)
 			}

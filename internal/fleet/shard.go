@@ -1,0 +1,89 @@
+// Package fleet distributes one probe plan across worker processes.
+//
+// The unit of distribution is a server unit — one open resolver or one
+// nameserver, the same granularity the collector's worker pools already
+// schedule at. A shard is a contiguous range of units; a worker sweeps its
+// shard with the ordinary journaled pipeline (chaos, breakers, watchdog,
+// graceful drain all apply) in collect-only mode, and the coordinator merges
+// the shard journals through the resume path into one report that is
+// byte-identical to a single-process run of the same plan+seed.
+//
+// Sharding never splits a server across shards, so each endpoint's exchange
+// order stays a pure function of the configuration — the property the
+// deterministic chaos machinery and the byte-identity pins depend on.
+package fleet
+
+import (
+	"net/netip"
+
+	"repro/internal/core"
+)
+
+// SplitPlan cuts [0, units) into n contiguous, near-even shards. Shard sizes
+// differ by at most one (the remainder spreads over the first shards); n is
+// clamped to [1, units] so no shard is empty.
+func SplitPlan(units, n int) []core.ShardDesc {
+	if n < 1 {
+		n = 1
+	}
+	if n > units {
+		n = units
+	}
+	if units <= 0 {
+		return nil
+	}
+	out := make([]core.ShardDesc, 0, n)
+	base, rem := units/n, units%n
+	lo := 0
+	for i := 0; i < n; i++ {
+		size := base
+		if i < rem {
+			size++
+		}
+		out = append(out, core.ShardDesc{Index: i, Lo: lo, Hi: lo + size, Units: units})
+		lo += size
+	}
+	return out
+}
+
+// ShardConfig slices a full-plan config down to the units in [lo, hi):
+// open resolvers occupy unit indices [0, R), nameservers [R, R+N), both in
+// config order. Everything else — seed, targets, query types, world wiring —
+// is shared, so the shard's plan hash is itself deterministic and
+// OpenShardJournal can verify the slice matches its descriptor.
+func ShardConfig(full *core.Config, lo, hi int) *core.Config {
+	c := *full
+	r := len(full.OpenResolvers)
+	rlo, rhi := clamp(lo, 0, r), clamp(hi, 0, r)
+	c.OpenResolvers = full.OpenResolvers[rlo:rhi]
+	nlo, nhi := clamp(lo-r, 0, len(full.Nameservers)), clamp(hi-r, 0, len(full.Nameservers))
+	c.Nameservers = full.Nameservers[nlo:nhi]
+	return &c
+}
+
+func clamp(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// UnitIndex maps every server address in the full plan to its unit index —
+// how a worker translates a yield point ("stop before unit s") into the
+// per-server SkipServer decision the collector consults at dispatch time.
+func UnitIndex(full *core.Config) map[netip.Addr]int {
+	m := make(map[netip.Addr]int, full.PlanUnits())
+	i := 0
+	for _, r := range full.OpenResolvers {
+		m[r] = i
+		i++
+	}
+	for _, ns := range full.Nameservers {
+		m[ns.Addr] = i
+		i++
+	}
+	return m
+}

@@ -1,0 +1,252 @@
+// The worker: dials the coordinator, sweeps assigned shards with the full
+// journaled pipeline in collect-only mode, reports per-unit progress, and
+// sheds its shard's tail when the coordinator yields it away.
+package fleet
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// WorkerOptions tunes RunWorker.
+type WorkerOptions struct {
+	// Name identifies the worker in coordinator logs.
+	Name string
+	// Parallelism is the per-shard sweep pool size. Zero inherits the
+	// config's resolution (GOMAXPROCS).
+	Parallelism int
+	// CheckpointEvery is the shard journal's checkpoint interval.
+	CheckpointEvery int
+	// DieAtRecords, when positive, kills the worker once its shard journal
+	// holds that many records — the fleet-smoke "kill one worker mid-shard"
+	// hook. The default death severs the connection and aborts the run
+	// in-process; Die overrides the action (the CLI uses os.Exit so the
+	// process death is real).
+	DieAtRecords int64
+	Die          func()
+	// Logf receives progress lines. Nil discards them.
+	Logf func(format string, args ...any)
+}
+
+// RunWorker connects to a coordinator and sweeps shards until the
+// coordinator sends shutdown (clean exit, returns nil), rejects the hello,
+// or the connection/context dies.
+func RunWorker(ctx context.Context, addr string, full *core.Config, opts WorkerOptions) error {
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	plan := full.PlanHash()
+	units := full.PlanUnits()
+
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return fmt.Errorf("fleet: dial coordinator %s: %w", addr, err)
+	}
+	w := newWire(conn)
+	defer w.close()
+	// The connection has no protocol-level keepalive; a dead coordinator
+	// surfaces as a read error. Context cancellation closes the conn so the
+	// reader unblocks.
+	stop := context.AfterFunc(ctx, func() { w.close() })
+	defer stop()
+
+	hello := frame{
+		Type: fHello, Plan: fmt.Sprintf("%016x", plan), Units: units,
+		Name: opts.Name, Parallelism: opts.Parallelism,
+	}
+	if err := w.send(hello); err != nil {
+		return fmt.Errorf("fleet: hello: %w", err)
+	}
+
+	// One goroutine owns the read side: yield frames update the running
+	// shard's effective end in place (they arrive mid-sweep), every other
+	// frame flows to the main loop.
+	sess := &workerSession{curShard: -1}
+	mainCh := make(chan frame, 4)
+	readErr := make(chan error, 1)
+	go func() {
+		defer close(mainCh)
+		for {
+			f, err := w.read()
+			if err != nil {
+				readErr <- err
+				return
+			}
+			if f.Type == fYield {
+				if sess.applyYield(f) {
+					logf("fleet: worker %s: shard %d tail yielded, new end unit %d", opts.Name, f.Shard, f.Hi)
+				}
+				continue
+			}
+			mainCh <- f
+		}
+	}()
+
+	idx := UnitIndex(full)
+	for {
+		var f frame
+		var ok bool
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case f, ok = <-mainCh:
+		}
+		if !ok {
+			err := <-readErr
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("fleet: coordinator connection lost: %w", err)
+		}
+		switch f.Type {
+		case fReject:
+			return fmt.Errorf("fleet: coordinator rejected worker: %s", f.Reason)
+		case fShutdown:
+			logf("fleet: worker %s: no work left, shutting down", opts.Name)
+			return nil
+		case fAssign:
+			if err := runShard(ctx, w, sess, full, idx, f, opts, logf); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// workerSession tracks which shard this worker is running so the reader
+// goroutine can route yield frames to it.
+type workerSession struct {
+	mu       sync.Mutex
+	curShard int
+	yieldHi  *atomic.Int64
+}
+
+func (s *workerSession) begin(shard int, yieldHi *atomic.Int64) {
+	s.mu.Lock()
+	s.curShard, s.yieldHi = shard, yieldHi
+	s.mu.Unlock()
+}
+
+func (s *workerSession) end() {
+	s.mu.Lock()
+	s.curShard, s.yieldHi = -1, nil
+	s.mu.Unlock()
+}
+
+// applyYield lowers the running shard's effective end; a yield for a shard
+// this worker no longer runs (it finished just as the steal fired) is
+// ignored — the thief re-sweeps the tail either way.
+func (s *workerSession) applyYield(f frame) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.curShard != f.Shard || s.yieldHi == nil {
+		return false
+	}
+	// Yields only move the end down.
+	for {
+		cur := s.yieldHi.Load()
+		if int64(f.Hi) >= cur || s.yieldHi.CompareAndSwap(cur, int64(f.Hi)) {
+			return int64(f.Hi) < cur
+		}
+	}
+}
+
+// errWorkerDied is returned when the DieAtRecords hook fired.
+var errWorkerDied = errors.New("fleet: worker died (DieAtRecords)")
+
+// runShard sweeps one assigned shard through the journaled pipeline in
+// collect-only mode and reports the outcome. The shard's own config slice
+// plus the shard descriptor reproduce exactly the probes a single-process
+// run would issue for these units; SkipServer drops units at or past the
+// yield point at dispatch time.
+func runShard(ctx context.Context, w *wire, sess *workerSession, full *core.Config, idx map[netip.Addr]int, f frame, opts WorkerOptions, logf func(string, ...any)) error {
+	sd := core.ShardDesc{Index: f.Shard, Lo: f.Lo, Hi: f.Hi, Units: full.PlanUnits()}
+	logf("fleet: worker %s: assigned %s (sweep end %d) in %s", opts.Name, sd, f.YieldHi, f.Dir)
+
+	var yieldHi atomic.Int64
+	if f.YieldHi > 0 {
+		yieldHi.Store(int64(f.YieldHi))
+	} else {
+		yieldHi.Store(int64(f.Hi))
+	}
+	sess.begin(f.Shard, &yieldHi)
+	defer sess.end()
+
+	runCtx, cancel := context.WithCancelCause(ctx)
+	defer cancel(nil)
+
+	scfg := ShardConfig(full, f.Lo, f.Hi)
+	scfg.CollectOnly = true
+	if opts.Parallelism > 0 {
+		scfg.Parallelism = opts.Parallelism
+	}
+	scfg.SkipServer = func(a netip.Addr) bool {
+		return int64(idx[a]) >= yieldHi.Load()
+	}
+
+	j, err := core.OpenShardJournal(f.Dir, scfg, full.PlanHash(), sd, core.JournalOptions{CheckpointEvery: opts.CheckpointEvery})
+	if err != nil {
+		// A bad assignment (or a clobbered directory) fails this shard, not
+		// the worker: report it and let the coordinator re-issue or abort.
+		return sendDone(w, f.Shard, 0, 0, err)
+	}
+	if opts.DieAtRecords > 0 {
+		die := opts.Die
+		if die == nil {
+			// Default death: sever the coordinator connection and abort the
+			// run mid-flight, from inside the append path — the closest
+			// in-process stand-in for SIGKILL. Unflushed records past the
+			// last checkpoint are lost, exactly like a real death.
+			die = func() {
+				w.close()
+				cancel(errWorkerDied)
+			}
+		}
+		var once sync.Once
+		limit := opts.DieAtRecords
+		j.AppendHook = func(total int64) {
+			if total >= limit {
+				once.Do(die)
+			}
+		}
+	}
+
+	var done atomic.Int64
+	scfg.ServerDone = func(netip.Addr) {
+		d := done.Add(1)
+		// Best-effort: a lost progress frame only delays work stealing.
+		_ = w.send(frame{Type: fProgress, Shard: f.Shard, Done: int(d), Records: j.Appended()})
+	}
+	scfg.Journal = j
+
+	_, runErr := core.NewPipeline(scfg).Run(runCtx)
+	if cerr := j.Close(); runErr == nil {
+		runErr = cerr
+	}
+	if cause := context.Cause(runCtx); cause != nil && errors.Is(cause, errWorkerDied) {
+		return errWorkerDied
+	}
+	if runErr != nil && ctx.Err() != nil {
+		return ctx.Err()
+	}
+	return sendDone(w, f.Shard, int(done.Load()), j.Appended(), runErr)
+}
+
+func sendDone(w *wire, shard, done int, records int64, runErr error) error {
+	df := frame{Type: fShardDone, Shard: shard, Done: done, Records: records}
+	if runErr != nil {
+		df.Err = runErr.Error()
+	}
+	if err := w.send(df); err != nil {
+		return fmt.Errorf("fleet: report shard %d: %w", shard, err)
+	}
+	return nil
+}
