@@ -32,6 +32,7 @@ import (
 	"repro/internal/dnsio"
 	"repro/internal/fleet"
 	"repro/internal/simnet"
+	"repro/internal/transport"
 	"repro/internal/urwatch"
 )
 
@@ -89,6 +90,8 @@ func main() {
 		"exit 1 if ShardedSweep's speedup_vs_1worker_2w_x falls below this (0 disables the gate)")
 	maxMergeOverhead := flag.Float64("max-merge-overhead-pct", 0,
 		"exit 1 if ShardedSweep's merge_overhead_% exceeds this (0 disables the gate)")
+	maxDoHOverhead := flag.Float64("max-doh-overhead-pct", 0,
+		"exit 1 if TransportSweep's doh_overhead_% exceeds this (0 disables the gate)")
 	flag.Parse()
 
 	env, err := repro.NewEnv(context.Background(), repro.TinyScale(), *seed)
@@ -472,6 +475,53 @@ func main() {
 			b.ReportMetric(median(overheads), "merge_overhead_%")
 		}
 	})
+	// TransportSweep prices the encrypted transports: one full sweep per
+	// transport kind over a fresh same-seed world, with the modeled crypto
+	// costs — a handshake per distinct server, a record/header tax per
+	// exchange — landing on the fabric's virtual clock. {dot,doh}_overhead_%
+	// compare each encrypted sweep's virtual time to the plain-UDP sweep's;
+	// the -max-doh-overhead-pct gate bounds the dearer of the two. The modeled
+	// arithmetic (DESIGN.md §14) puts DoH at a ~12.5% per-message tax plus an
+	// amortized 2-RTT handshake per server, so the 50% CI ceiling has slack
+	// for plan-shape drift while still catching a broken amortization (a
+	// handshake per message would blow far past it).
+	run("TransportSweep", func(b *testing.B) {
+		virtual := map[transport.Kind]int64{}
+		var dohHandshakes, dohServers float64
+		for i := 0; i < b.N; i++ {
+			for _, kind := range transport.SweepKinds {
+				w, err := repro.GenerateWorld(repro.TinyScale(), *seed)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg := w.URHunterConfig()
+				tr, err := transport.NewSim(kind, cfg.Fabric, cfg.SrcAddr)
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Transport = tr
+				cfg.TransportKind = string(kind)
+				v0 := w.Fabric.VirtualRTT()
+				if _, err := core.NewPipeline(cfg).Run(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+				virtual[kind] += int64(w.Fabric.VirtualRTT() - v0)
+				if kind == transport.KindDoH {
+					if hs, ok := tr.(interface{ Handshakes() int64 }); ok {
+						dohHandshakes = float64(hs.Handshakes())
+						dohServers = float64(len(w.Nameservers) + len(w.Resolvers.Resolvers))
+					}
+				}
+			}
+		}
+		udp := virtual[transport.KindUDP]
+		if udp > 0 {
+			b.ReportMetric(100*float64(virtual[transport.KindDoT]-udp)/float64(udp), "dot_overhead_%")
+			b.ReportMetric(100*float64(virtual[transport.KindDoH]-udp)/float64(udp), "doh_overhead_%")
+		}
+		b.ReportMetric(dohHandshakes, "doh_handshakes")
+		b.ReportMetric(dohServers, "doh_servers")
+	})
 	run("CollectorSweep", func(b *testing.B) {
 		cfg := env.World.URHunterConfig()
 		var queries int64
@@ -797,5 +847,17 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Fprintf(os.Stderr, "merge overhead gate: %.2f%% <= %.2f%%\n", got, *maxMergeOverhead)
+	}
+	if *maxDoHOverhead > 0 {
+		got, ok := rep.Benchmarks["TransportSweep"].Extra["doh_overhead_%"]
+		if !ok {
+			fmt.Fprintln(os.Stderr, "benchjson: gate: TransportSweep reported no doh_overhead_%")
+			os.Exit(1)
+		}
+		if got > *maxDoHOverhead {
+			fmt.Fprintf(os.Stderr, "benchjson: gate: doh_overhead_%% %.2f exceeds the %.2f limit\n", got, *maxDoHOverhead)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "doh overhead gate: %.2f%% <= %.2f%%\n", got, *maxDoHOverhead)
 	}
 }

@@ -6,7 +6,8 @@
 //
 //	urhunter [-scale tiny|small|paper] [-seed N] [-top N] [-domains N]
 //	         [-journal DIR | -resume DIR] [-checkpoint-every N]
-//	         [-determine-workers N] [-chaos] [-pprof ADDR]
+//	         [-determine-workers N] [-chaos] [-transport udp|dot|doh]
+//	         [-pprof ADDR]
 //	urhunter -worker ADDR [-worker-name NAME] [-scale ...] [-seed N] [-chaos]
 //
 // With -journal, every answered probe is checkpointed into DIR as the sweep
@@ -50,6 +51,7 @@ func main() {
 	ckptEvery := flag.Int("checkpoint-every", 0, "flush the journal every N records (0 = default)")
 	detWorkers := flag.Int("determine-workers", 0, "streaming classification workers (0 = inherit sweep parallelism); any value yields byte-identical reports")
 	chaos := flag.Bool("chaos", false, "inject the deterministic fault pattern (fleet runs must match the coordinator)")
+	transportKind := flag.String("transport", "udp", "wire transport for sweep exchanges: udp, dot, or doh (reports are byte-identical across all three)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this address")
 	workerAddr := flag.String("worker", "", "run as a fleet worker for the urcoord coordinator at this address")
 	workerName := flag.String("worker-name", "", "worker identity in coordinator logs (default host:pid)")
@@ -58,6 +60,10 @@ func main() {
 
 	if *journalDir != "" && *resumeDir != "" {
 		fmt.Fprintln(os.Stderr, "urhunter: -journal and -resume are mutually exclusive (both name the same directory)")
+		os.Exit(2)
+	}
+	if err := repro.ValidateTransport(*transportKind); err != nil {
+		fmt.Fprintf(os.Stderr, "urhunter: -transport: %v\n", err)
 		os.Exit(2)
 	}
 	if *pprofAddr != "" {
@@ -88,7 +94,7 @@ func main() {
 		len(world.Targets), len(world.Resolvers.Resolvers), len(world.Samples))
 
 	if *workerAddr != "" {
-		os.Exit(runWorker(world, *workerAddr, *workerName, *workerDieAt, *ckptEvery))
+		os.Exit(runWorker(world, *workerAddr, *workerName, *transportKind, *workerDieAt, *ckptEvery))
 	}
 
 	// First SIGINT/SIGTERM cancels the sweep context: in-flight probes
@@ -117,7 +123,7 @@ func main() {
 				os.Exit(2)
 			}
 		}
-		pipe, journal, err = repro.NewJournaledPipeline(world, dir, repro.JournalOptions{CheckpointEvery: *ckptEvery})
+		pipe, journal, err = repro.NewJournaledPipelineTransport(world, *transportKind, dir, repro.JournalOptions{CheckpointEvery: *ckptEvery})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "urhunter: journal: %v\n", err)
 			os.Exit(1)
@@ -134,7 +140,11 @@ func main() {
 			fmt.Printf("checkpointing sweep into %s\n", dir)
 		}
 	} else {
-		pipe = repro.NewPipeline(world)
+		pipe, err = repro.NewPipelineTransport(world, *transportKind)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "urhunter: %v\n", err)
+			os.Exit(2)
+		}
 	}
 	// DetermineWorkers is read at Run time only, so setting it after pipeline
 	// construction is safe (unlike Parallelism, which sizes the watchdog).
@@ -193,7 +203,7 @@ func main() {
 
 // runWorker runs the fleet-worker mode: sweep shards for the coordinator at
 // addr until it sends shutdown. Returns the process exit code.
-func runWorker(world *repro.World, addr, name string, dieAt int64, ckptEvery int) int {
+func runWorker(world *repro.World, addr, name, transportKind string, dieAt int64, ckptEvery int) int {
 	log.SetFlags(log.Ltime)
 	if name == "" {
 		host, _ := os.Hostname()
@@ -212,7 +222,11 @@ func runWorker(world *repro.World, addr, name string, dieAt int64, ckptEvery int
 		os.Exit(130)
 	}()
 
-	err := fleet.RunWorker(ctx, addr, world.URHunterConfig(), fleet.WorkerOptions{
+	// The shard journals this worker writes carry the transport in their
+	// manifests; a coordinator merging over a different transport refuses.
+	cfg := world.URHunterConfig()
+	cfg.TransportKind = transportKind
+	err := fleet.RunWorker(ctx, addr, cfg, fleet.WorkerOptions{
 		Name:            name,
 		CheckpointEvery: ckptEvery,
 		DieAtRecords:    dieAt,

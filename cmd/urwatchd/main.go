@@ -1,6 +1,6 @@
 // Command urwatchd is the continuous UR monitoring daemon: it re-sweeps a
 // generated world on an interval, publishes each sweep as a verdict-store
-// generation, and serves the verdicts two ways —
+// generation, and serves the verdicts three ways —
 //
 //   - an HTTP/JSON API (lookup by domain/IP/provider, event tail, coverage
 //     and health) on -http, and
@@ -8,6 +8,11 @@
 //
 //     dig @127.0.0.1 -p 5354 ibm.com.urwatch.feed.urwatch.test TXT
 //     dig @127.0.0.1 -p 5354 gen.feed.urwatch.test TXT
+//
+//   - the same zone over RFC 8484 DoH at /dns-query on the -http listener
+//     (POST application/dns-message or GET ?dns=), sharing the UDP/TCP
+//     front-end's cache and metrics; per-transport counters appear on
+//     /metrics as urwatch_dns_queries_total{transport="..."}.
 //
 // Between generations the differ appends ur_appeared / ur_removed /
 // class_changed events to the event log, served at /v1/events.
@@ -71,6 +76,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dns"
 	"repro/internal/dnsio"
+	"repro/internal/transport"
 	"repro/internal/urwatch"
 )
 
@@ -285,8 +291,11 @@ func run(cfg daemonConfig) error {
 
 	var group urwatch.ServeGroup
 	dnsTCPAddr := ""
-	if dnsAddr != "" {
-		zr := &urwatch.ZoneResponder{
+	var zr *urwatch.ZoneResponder
+	if dnsAddr != "" || httpAddr != "" {
+		// One responder backs every DNS-shaped front-end (UDP, TCP, DoH), so
+		// they share the response cache and count into the same metrics.
+		zr = &urwatch.ZoneResponder{
 			Apex:    apex,
 			Store:   watcher.Store(),
 			Limiter: limiter,
@@ -295,6 +304,8 @@ func run(cfg daemonConfig) error {
 			ZoneACL: zoneACL,
 			Metrics: metrics,
 		}
+	}
+	if dnsAddr != "" {
 		srv, err := group.StartDNS(zr, dnsAddr)
 		if err != nil {
 			return err
@@ -314,11 +325,20 @@ func run(cfg daemonConfig) error {
 			Cache:   urwatch.NewResponseCache(cfg.cacheCap),
 			Metrics: metrics,
 		}
-		addr, err := group.StartHTTP(api.Handler(), httpAddr)
+		mux := http.NewServeMux()
+		mux.Handle("/", api.Handler())
+		// RFC 8484 front-end: the same zone the UDP/TCP listeners serve,
+		// reachable as POST/GET /dns-query on the API listener.
+		mux.Handle(transport.DoHPath, &transport.DoHHandler{
+			Responder: zr,
+			OnError:   func() { metrics.CountTransportError(urwatch.TransportDoH) },
+		})
+		addr, err := group.StartHTTP(mux, httpAddr)
 		if err != nil {
 			return err
 		}
 		fmt.Printf("HTTP API on http://%s/v1/\n", addr)
+		fmt.Printf("DoH endpoint on http://%s%s\n", addr, transport.DoHPath)
 		httpAddr = addr.String()
 	}
 
@@ -510,6 +530,11 @@ func runSmoke(ctx context.Context, watcher *urwatch.Watcher,
 			violate("xfr: %v", err)
 		}
 	}
+	if httpAddr != "" {
+		if err := smokeDoH(httpAddr, apex, violate); err != nil {
+			violate("doh: %v", err)
+		}
+	}
 
 	fmt.Printf("smoke: %d HTTP + %d DNS requests served across %d generations, %d violations\n",
 		httpReqs.Load(), dnsReqs.Load(), watcher.Store().Current().Seq, violations.Load())
@@ -522,6 +547,70 @@ func runSmoke(ctx context.Context, watcher *urwatch.Watcher,
 	if dnsAddr != "" && dnsReqs.Load() == 0 {
 		return fmt.Errorf("smoke: no DNS requests completed")
 	}
+	return nil
+}
+
+// smokeDoH exercises the RFC 8484 front-end: the same planted names the UDP
+// clients hammered, re-resolved as application/dns-message POSTs against
+// /dns-query on the API listener. The answers must match what the datagram
+// path serves — one responder backs both — so any divergence is a violation.
+func smokeDoH(httpAddr string, apex dns.Name, violate func(string, ...any)) error {
+	server, err := netip.ParseAddrPort(httpAddr)
+	if err != nil {
+		return fmt.Errorf("bad http addr: %w", err)
+	}
+	cli := dnsio.NewClient(&transport.NetDoH{})
+	queries := []struct {
+		name dns.Name
+		t    dns.Type
+	}{
+		{"gen." + apex, dns.TypeTXT},
+		{urwatch.DomainName("ibm.com", apex), dns.TypeA},
+	}
+	for _, q := range queries {
+		qctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		resp, err := cli.Query(qctx, server, q.name, q.t)
+		cancel()
+		if err != nil {
+			return fmt.Errorf("%s %s: %w", q.name, q.t, err)
+		}
+		if resp.Header.RCode != dns.RCodeSuccess || len(resp.Answers) == 0 {
+			violate("doh %s %s: rcode %s, %d answers",
+				q.name, q.t, resp.Header.RCode, len(resp.Answers))
+			continue
+		}
+		fmt.Printf("smoke: DoH %s %s -> %d answers\n", q.name, q.t, len(resp.Answers))
+	}
+	// The queries above ran via="doh", so the per-transport counter family on
+	// /metrics must have moved; scrape it and print the line for the CI grep.
+	mctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(mctx, http.MethodGet, "http://"+httpAddr+"/metrics", nil)
+	if err != nil {
+		return err
+	}
+	mresp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	body, err := io.ReadAll(io.LimitReader(mresp.Body, 1<<20))
+	mresp.Body.Close()
+	if err != nil {
+		return fmt.Errorf("metrics scrape: %w", err)
+	}
+	var counted bool
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, `urwatch_dns_queries_total{transport="doh"}`) {
+			fmt.Printf("smoke: DoH metric %s\n", line)
+			if f := strings.Fields(line); len(f) == 2 && f[1] != "0" {
+				counted = true
+			}
+		}
+	}
+	if !counted {
+		violate("doh queries served but urwatch_dns_queries_total{transport=\"doh\"} never moved")
+	}
+	fmt.Println("smoke: DoH front-end ok")
 	return nil
 }
 

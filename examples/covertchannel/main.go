@@ -7,7 +7,11 @@
 // same attack is then replayed with two countermeasures: a URWatch sweep
 // whose verdict feed backs the firewall (⑥ — the flow dies at the feed
 // check), and a provider that adopted the §6 ownership-verification
-// mitigation (the attack dies at step ①).
+// mitigation (the attack dies at step ①). Step ⑦ upgrades the implant to
+// DoH: the lookup and the beacon both ride opaque TLS, payload signatures
+// (the IDS baseline) go blind, yet the feed-backed blocker still wins — it
+// keys on the endpoint's structured resolution record, which encryption
+// does not hide.
 //
 //	go run ./examples/covertchannel
 package main
@@ -23,6 +27,7 @@ import (
 	"repro/internal/defense"
 	"repro/internal/dns"
 	"repro/internal/hosting"
+	"repro/internal/ids"
 	"repro/internal/ipam"
 	"repro/internal/malware"
 	"repro/internal/psl"
@@ -165,6 +170,49 @@ func main() {
 		fmt.Printf("   first verdict: %s\n", outcome2.BlockedVerdicts[0].Reason)
 	}
 	fmt.Printf("   C2 reached: %v\n\n", outcome2.C2Reached)
+
+	// --- step ⑦: the attacker upgrades to DoH -----------------------------
+	// The implant re-runs with its lookup tunneled over RFC 8484 and a
+	// TLS-wrapped beacon: a network tap sees two opaque HTTPS sessions and
+	// zero DNS, so every payload signature goes blind. The feed-backed
+	// blocker does not care — the sandbox's structured resolution record
+	// survives encryption, and blocking it tears the whole chain down.
+	sampleDoH := &sandbox.Sample{
+		Name: "specter-implant-doh", Family: "Specter",
+		Behavior: func(env sandbox.Env) error {
+			resp, err := env.(sandbox.EncryptedEnv).QueryDoH(providerNS, "trusted.com", dns.TypeA)
+			if err != nil {
+				return err
+			}
+			dst, ok := malware.FirstA(resp)
+			if !ok {
+				return fmt.Errorf("no UR answer")
+			}
+			return env.ConnectTCP(dst, 443, "tls1.3 application-data")
+		},
+	}
+	reportDoH := sb.Run(sampleDoH)
+	if reportDoH.Err != nil {
+		log.Fatalf("DoH malware failed: %v", reportDoH.Err)
+	}
+	engine := ids.NewEngine(ids.DefaultRules()...)
+	plainIPs := ids.AlertedIPs(engine.InspectReport(report), ids.SeverityMedium)
+	dohIPs := ids.AlertedIPs(engine.InspectReport(reportDoH), ids.SeverityMedium)
+	fmt.Printf("⑦ same implant over DoH: IDS signatures flag %d IP(s) on the plaintext run, %d on the encrypted run\n",
+		len(plainIPs), len(dohIPs))
+	if len(plainIPs) == 0 {
+		log.Fatal("expected the plaintext beacon to trip the IDS")
+	}
+	if len(dohIPs) != 0 {
+		log.Fatal("expected the encrypted run to evade payload signatures")
+	}
+	outcome3 := defense.EvaluateReportWithFeed(reportDoH, rep, fw, fb, nil)
+	fmt.Printf("   feed-backed firewall vs DoH: blocked %d/%d DNS records, %d/%d connections\n",
+		outcome3.BlockedDNS, outcome3.TotalDNS, outcome3.BlockedConns, outcome3.TotalConns)
+	fmt.Printf("   C2 reached: %v — encryption beat the signatures, not the feed\n\n", outcome3.C2Reached)
+	if outcome3.C2Reached {
+		log.Fatal("expected the feed blocker to stop the encrypted channel")
+	}
 
 	// --- the §6 mitigation: ownership verification ------------------------
 	fixed := hosting.PresetClouDNS()

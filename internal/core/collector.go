@@ -16,6 +16,7 @@ import (
 	"repro/internal/pdns"
 	"repro/internal/simnet"
 	"repro/internal/threatintel"
+	transportpkg "repro/internal/transport"
 	"repro/internal/websim"
 
 	idspkg "repro/internal/ids"
@@ -89,9 +90,20 @@ type Config struct {
 	Journal *Journal
 
 	// Transport overrides the client transport. Nil selects the simulated
-	// fabric (SimTransport over Fabric); tests and real-network runs
+	// transport named by TransportKind; tests and real-network runs
 	// substitute their own.
 	Transport dnsio.Transport
+
+	// TransportKind selects the wire transport for sweep exchanges when
+	// Transport is nil: "" or "udp" (plain datagrams with TC fallback),
+	// "dot", or "doh". The encrypted sim transports route through the same
+	// fabric endpoints as plain UDP — identical chaos draws, identical
+	// verdicts — and differ only in virtual-clock accounting, so the
+	// transport is deliberately excluded from PlanHash. Journals still
+	// record it (manifest "transport") and refuse cross-transport resume
+	// and merge, because mixing timing models would corrupt coverage
+	// accounting.
+	TransportKind string
 
 	// Watchdog tunes the per-worker stall watchdog. Nil selects the default
 	// policy: active only over transports that can actually block — the
@@ -235,11 +247,32 @@ type Collector struct {
 	nsInfo     map[netip.Addr]NameserverInfo
 }
 
+// transportKind normalizes the configured kind; unknown values surface as
+// errors at journal-open and pipeline-construction time via ParseKind.
+func (c *Config) transportKind() transportpkg.Kind {
+	k, err := transportpkg.ParseKind(c.TransportKind)
+	if err != nil {
+		// An invalid kind is a programmer/flag-validation error, not a
+		// runtime condition; the CLIs validate before building a config.
+		panic(err)
+	}
+	return k
+}
+
+// newSimTransport builds the configured simulated transport.
+func (c *Config) newSimTransport() dnsio.Transport {
+	t, err := transportpkg.NewSim(c.transportKind(), c.Fabric, c.SrcAddr)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
 // NewCollector builds a collector over the configured fabric.
 func NewCollector(cfg *Config) *Collector {
 	transport := cfg.Transport
 	if transport == nil {
-		transport = &dnsio.SimTransport{Fabric: cfg.Fabric, Src: cfg.SrcAddr}
+		transport = cfg.newSimTransport()
 	}
 	client := dnsio.NewClient(transport)
 	client.Retries = 1

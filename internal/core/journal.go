@@ -178,6 +178,24 @@ type manifest struct {
 	FullPlanHash string `json:"full_plan_hash,omitempty"`
 	// Shard is the shard descriptor, nil on whole-plan journals.
 	Shard *shardManifest `json:"shard,omitempty"`
+
+	// Transport is the wire transport the journal's records were collected
+	// over ("udp", "dot", "doh"); empty means udp, so journals written
+	// before the field existed keep resuming. Transport is deliberately not
+	// part of PlanHash — verdicts are transport-independent and the reports
+	// byte-identical — but the failure books are not comparable across
+	// transports (a TLS-handshake failure has no UDP analogue), so resume
+	// and merge refuse to mix them.
+	Transport string `json:"transport,omitempty"`
+}
+
+// normTransport maps the manifest's empty-means-udp encoding onto the
+// canonical kind name for comparison.
+func normTransport(s string) string {
+	if s == "" {
+		return "udp"
+	}
+	return s
 }
 
 // shardManifest is ShardDesc in manifest form.
@@ -248,10 +266,11 @@ func (c *Config) PlanHash() uint64 {
 // shard-extended hash for shard journals), the underlying full plan's hash,
 // and the shard descriptor when the journal covers only a slice of the plan.
 type journalIdentity struct {
-	plan  uint64
-	full  uint64
-	shard *ShardDesc
-	seed  int64
+	plan      uint64
+	full      uint64
+	shard     *ShardDesc
+	seed      int64
+	transport string
 }
 
 // OpenJournal opens (creating if needed) the checkpoint journal for one
@@ -261,7 +280,10 @@ type journalIdentity struct {
 // replayed into memory; torn tails are detected and discarded.
 func OpenJournal(dir string, cfg *Config, opts JournalOptions) (*Journal, error) {
 	full := cfg.PlanHash()
-	return openJournal(dir, journalIdentity{plan: full, full: full, seed: cfg.Seed}, opts)
+	return openJournal(dir, journalIdentity{
+		plan: full, full: full, seed: cfg.Seed,
+		transport: normTransport(cfg.TransportKind),
+	}, opts)
 }
 
 // OpenShardJournal opens the checkpoint journal for one shard of a larger
@@ -280,10 +302,11 @@ func OpenShardJournal(dir string, cfg *Config, fullPlan uint64, sd ShardDesc, op
 	}
 	desc := sd
 	return openJournal(dir, journalIdentity{
-		plan:  ShardPlanHash(fullPlan, sd),
-		full:  fullPlan,
-		shard: &desc,
-		seed:  cfg.Seed,
+		plan:      ShardPlanHash(fullPlan, sd),
+		full:      fullPlan,
+		shard:     &desc,
+		seed:      cfg.Seed,
+		transport: normTransport(cfg.TransportKind),
 	}, opts)
 }
 
@@ -350,6 +373,10 @@ func matchManifest(dir string, m manifest, id journalIdentity) error {
 		return fmt.Errorf("journal: directory %s holds a different sweep plan (its plan hash %s, this config's %s): resume and merge refuse to mix plans",
 			dir, got, fullHex)
 	}
+	if got := normTransport(m.Transport); got != normTransport(id.transport) {
+		return fmt.Errorf("journal: directory %s was swept over transport %q but this run uses %q: resume and merge refuse to mix transports; re-run with -transport %s or point the sweep at a fresh directory",
+			dir, got, normTransport(id.transport), got)
+	}
 	switch {
 	case m.Shard != nil && id.shard == nil:
 		return fmt.Errorf("journal: directory %s holds shard %d (units [%d,%d) of %d) of this plan, not the whole plan; merge shard journals into a fresh directory instead of resuming one directly",
@@ -377,6 +404,11 @@ func matchManifest(dir string, m manifest, id journalIdentity) error {
 // kill during journal creation never leaves a half-written identity.
 func writeManifest(path string, id journalIdentity) error {
 	m := manifest{Version: journalVersion, PlanHash: fmt.Sprintf("%016x", id.plan), Seed: id.seed}
+	if t := normTransport(id.transport); t != "udp" {
+		// udp stays implicit so pre-transport journals and new ones agree
+		// byte-for-byte on the default.
+		m.Transport = t
+	}
 	if id.shard != nil {
 		m.FullPlanHash = fmt.Sprintf("%016x", id.full)
 		m.Shard = &shardManifest{Index: id.shard.Index, Lo: id.shard.Lo, Hi: id.shard.Hi, Units: id.shard.Units}
@@ -846,6 +878,10 @@ func MergeShardJournals(dst string, cfg *Config, srcDirs []string) (MergeStats, 
 			return st, fmt.Errorf("journal: merge: %s holds a different sweep plan (its plan hash %s, this config's %s): resume and merge refuse to mix plans",
 				src, got, fullHex)
 		}
+		if got := normTransport(m.Transport); got != normTransport(cfg.TransportKind) {
+			return st, fmt.Errorf("journal: merge: %s was swept over transport %q but this merge targets %q: resume and merge refuse to mix transports",
+				src, got, normTransport(cfg.TransportKind))
+		}
 		if m.Shard == nil {
 			// A whole-plan journal merges as the full range.
 			covered = append(covered, interval{0, units})
@@ -913,7 +949,10 @@ func MergeShardJournals(dst string, cfg *Config, srcDirs []string) (MergeStats, 
 		}
 		st.Dirs++
 	}
-	if err := writeManifest(mpath, journalIdentity{plan: cfg.PlanHash(), full: cfg.PlanHash(), seed: cfg.Seed}); err != nil {
+	if err := writeManifest(mpath, journalIdentity{
+		plan: cfg.PlanHash(), full: cfg.PlanHash(), seed: cfg.Seed,
+		transport: normTransport(cfg.TransportKind),
+	}); err != nil {
 		return st, err
 	}
 	return st, nil

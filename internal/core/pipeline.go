@@ -271,7 +271,11 @@ func (p *Pipeline) FalseNegativeCheck(ctx context.Context, res *Result) (int, in
 	if len(p.Cfg.OpenResolvers) == 0 {
 		return 0, 0, nil
 	}
-	client := dnsio.NewClient(&dnsio.SimTransport{Fabric: p.Cfg.Fabric, Src: p.Cfg.SrcAddr})
+	tr := p.Cfg.Transport
+	if tr == nil {
+		tr = p.Cfg.newSimTransport()
+	}
+	client := dnsio.NewClient(tr)
 	client.SeedIDs(0xFACE)
 	resolver := netip.AddrPortFrom(p.Cfg.OpenResolvers[0], dnsio.DNSPort)
 

@@ -68,6 +68,12 @@ func EvaluateReportWithFeed(rep *sandbox.Report, repEng *ReputationEngine, fw *P
 	fb *FeedBlocker, legitDirect map[netip.Addr]bool) Outcome {
 	var out Outcome
 	blockedIPs := make(map[netip.Addr]bool)
+	// An encrypted (DoH) resolution appears twice in a report: as a
+	// structured DNS record (the endpoint view) and as an opaque TLS flow to
+	// the serving point (the network view). Blocking the endpoint view tears
+	// down the opaque session that carried it, so the network flow must not
+	// be scored as a reached destination.
+	blockedEncrypted := make(map[netip.Addr]bool)
 
 	for _, rec := range rep.DNS {
 		out.TotalDNS++
@@ -83,6 +89,9 @@ func EvaluateReportWithFeed(rep *sandbox.Report, repEng *ReputationEngine, fw *P
 			out.BlockedVerdicts = append(out.BlockedVerdicts, v)
 			if legitDirect[rec.Server] {
 				out.CollateralHits++
+			}
+			if rec.Encrypted {
+				blockedEncrypted[rec.Server] = true
 			}
 			for _, rr := range rec.Answers {
 				if a, ok := rr.Data.(*dns.A); ok {
@@ -100,10 +109,14 @@ func EvaluateReportWithFeed(rep *sandbox.Report, repEng *ReputationEngine, fw *P
 		if !v.Blocked {
 			v = fb.EvaluateConnection(fl.Dst)
 		}
-		if v.Blocked || blockedIPs[fl.Dst] {
+		if v.Blocked || blockedIPs[fl.Dst] || blockedEncrypted[fl.Dst] {
 			out.BlockedConns++
 			if !v.Blocked {
-				v = block("destination learned via blocked resolution")
+				if blockedIPs[fl.Dst] {
+					v = block("destination learned via blocked resolution")
+				} else {
+					v = block("opaque session to a blocked UR serving point")
+				}
 			}
 			out.BlockedVerdicts = append(out.BlockedVerdicts, v)
 			continue

@@ -280,6 +280,31 @@ func (f ResponderFunc) HandleQuery(src netip.Addr, q *dns.Message) *dns.Message 
 	return f(src, q)
 }
 
+// Via values naming the transport that carried a query to a server.
+const (
+	ViaUDP = "udp"
+	ViaTCP = "tcp"
+	ViaDoT = "dot"
+	ViaDoH = "doh"
+)
+
+// ViaResponder is the optional interface a Responder implements to learn
+// which transport carried each query (the Via* constants). Front-ends that
+// keep per-transport counters — urwatchd's /metrics — implement it; every
+// serve path falls back to plain HandleQuery when it is absent.
+type ViaResponder interface {
+	HandleQueryVia(src netip.Addr, q *dns.Message, via string) *dns.Message
+}
+
+// dispatchQuery routes one decoded query to the responder, tagging the
+// carrying transport when the responder cares.
+func dispatchQuery(r Responder, src netip.Addr, q *dns.Message, via string) *dns.Message {
+	if vr, ok := r.(ViaResponder); ok {
+		return vr.HandleQueryVia(src, q, via)
+	}
+	return r.HandleQuery(src, q)
+}
+
 // udpPayloadSize extracts the EDNS0-advertised payload size from a query,
 // defaulting to the classic 512 octets.
 func udpPayloadSize(q *dns.Message) int {
@@ -302,6 +327,19 @@ func udpPayloadSize(q *dns.Message) int {
 // truncation when tcp is false). Malformed queries yield FORMERR when the
 // header survives, nothing otherwise.
 func serveBytes(r Responder, src netip.Addr, raw []byte, tcp bool) []byte {
+	via := ViaUDP
+	if tcp {
+		via = ViaTCP
+	}
+	return ServeRaw(r, src, raw, via)
+}
+
+// ServeRaw runs one raw query through the serve path for the named transport:
+// unpack, dispatch (tagging via for ViaResponder implementations), pack. UDP
+// answers honour the EDNS0 payload size and truncate; every other transport
+// is stream- or HTTP-framed, so responses pack whole. The DoT and DoH
+// front-ends in internal/transport call this directly.
+func ServeRaw(r Responder, src netip.Addr, raw []byte, via string) []byte {
 	q := queryPool.Get().(*dns.Message)
 	defer queryPool.Put(q)
 	if err := q.UnpackFrom(raw); err != nil {
@@ -315,16 +353,16 @@ func serveBytes(r Responder, src netip.Addr, raw []byte, tcp bool) []byte {
 		}
 		return nil
 	}
-	resp := r.HandleQuery(src, q)
+	resp := dispatchQuery(r, src, q, via)
 	if resp == nil {
 		return nil
 	}
 	var out []byte
 	var err error
-	if tcp {
-		out, err = resp.Pack()
-	} else {
+	if via == ViaUDP {
 		out, err = resp.PackTruncated(udpPayloadSize(q))
+	} else {
+		out, err = resp.Pack()
 	}
 	if err != nil {
 		fail := q.Reply()
@@ -447,11 +485,12 @@ func (t *NetTransport) exchangeTCP(ctx context.Context, server netip.AddrPort, p
 	return readTCPMessage(conn)
 }
 
-// writeTCPMessage writes the RFC 1035 §4.2.2 two-octet length prefix followed
-// by the message.
-func writeTCPMessage(w io.Writer, msg []byte) error {
+// WriteFrame writes the RFC 1035 §4.2.2 two-octet length prefix followed by
+// the message — the stream framing shared by plain TCP and TLS-wrapped DoT
+// (RFC 7858 §3.3 carries TCP framing unchanged over the TLS session).
+func WriteFrame(w io.Writer, msg []byte) error {
 	if len(msg) > dns.MaxMessageSize {
-		return errors.New("dnsio: message too large for TCP framing")
+		return errors.New("dnsio: message too large for stream framing")
 	}
 	hdr := [2]byte{}
 	binary.BigEndian.PutUint16(hdr[:], uint16(len(msg)))
@@ -462,8 +501,8 @@ func writeTCPMessage(w io.Writer, msg []byte) error {
 	return err
 }
 
-// readTCPMessage reads one length-prefixed DNS message.
-func readTCPMessage(r io.Reader) ([]byte, error) {
+// ReadFrame reads one length-prefixed DNS message from a stream.
+func ReadFrame(r io.Reader) ([]byte, error) {
 	var hdr [2]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return nil, err
@@ -475,3 +514,8 @@ func readTCPMessage(r io.Reader) ([]byte, error) {
 	}
 	return buf, nil
 }
+
+// writeTCPMessage and readTCPMessage keep the historical names alive for the
+// package-internal call sites.
+func writeTCPMessage(w io.Writer, msg []byte) error { return WriteFrame(w, msg) }
+func readTCPMessage(r io.Reader) ([]byte, error)    { return ReadFrame(r) }

@@ -27,6 +27,16 @@ var (
 	ErrCircuitOpen = errors.New("dnsio: circuit breaker open")
 	// ErrMalformed wraps a response that did not parse as a DNS message.
 	ErrMalformed = errors.New("dnsio: response failed to parse")
+	// ErrTLSHandshake wraps a failed DoT/DoH TLS handshake. The endpoint
+	// answered the dial but refused (or botched) the crypto layer, so
+	// retrying the same exchange cannot help — classified unreachable,
+	// which makes the client fail fast instead of burning retries.
+	ErrTLSHandshake = errors.New("dnsio: TLS handshake failed")
+	// ErrHTTPStatus wraps a non-200 status from a DoH server. RFC 8484 §4.2.1
+	// reserves the DNS-level outcome for 200 responses; anything else — a 502
+	// from a proxy, a 429, a 400 — is a transport-level fault, transient by
+	// default (the breaker still opens on a persistent streak).
+	ErrHTTPStatus = errors.New("dnsio: DoH HTTP error status")
 )
 
 // FailClass buckets exchange failures for retry policy and coverage
@@ -82,7 +92,7 @@ func Classify(err error) FailClass {
 		return FailNone
 	case errors.Is(err, ErrCircuitOpen):
 		return FailBreakerOpen
-	case errors.Is(err, simnet.ErrUnreachable):
+	case errors.Is(err, simnet.ErrUnreachable), errors.Is(err, ErrTLSHandshake):
 		return FailUnreachable
 	case errors.Is(err, simnet.ErrTimeout), errors.Is(err, context.DeadlineExceeded):
 		return FailTimeout
@@ -90,6 +100,8 @@ func Classify(err error) FailClass {
 		return FailSpoofed
 	case errors.Is(err, ErrMalformed):
 		return FailMalformed
+	case errors.Is(err, ErrHTTPStatus):
+		return FailOther
 	}
 	var nerr net.Error
 	if errors.As(err, &nerr) && nerr.Timeout() {

@@ -50,9 +50,13 @@ func (f Flow) String() string {
 type DNSRecord struct {
 	Server   netip.Addr
 	Direct   bool // true when the sample queried a specific server, not the default resolver
-	Question dns.Question
-	RCode    dns.RCode
-	Answers  []dns.RR
+	// Encrypted marks a lookup carried over DoH: the wire was an opaque TLS
+	// session, so this record exists only because the sandbox instruments
+	// the process — a network tap would not have it.
+	Encrypted bool
+	Question  dns.Question
+	RCode     dns.RCode
+	Answers   []dns.RR
 }
 
 // Env is the network API malware behaviour programs run against.
@@ -67,6 +71,21 @@ type Env interface {
 	ConnectTCP(dst netip.Addr, port uint16, payload string) error
 	// SendSMTP delivers a message to an SMTP endpoint.
 	SendSMTP(dst netip.Addr, envelope string) error
+}
+
+// EncryptedEnv is the optional Env extension for malware that tunnels its
+// DNS lookups over an encrypted transport. The sandbox's capture environment
+// implements it; behaviour programs type-assert and fall back to plaintext
+// QueryDNS when the environment cannot.
+type EncryptedEnv interface {
+	// QueryDoH resolves name via RFC 8484 against the server's DoH
+	// endpoint. On the wire a defender sees only a TLS session to port 443
+	// — no question text, no answer, no payload marker for signatures to
+	// match. The structured DNSRecord is still captured (with Encrypted
+	// set): the sandbox instruments the process, not the network, so
+	// endpoint-visibility defenses keep working where payload signatures
+	// go blind.
+	QueryDoH(server netip.Addr, name dns.Name, qtype dns.Type) (*dns.Message, error)
 }
 
 // Sample is a malware specimen: identity plus a behaviour program.
@@ -189,6 +208,28 @@ func (e *captureEnv) queryVia(server netip.Addr, name dns.Name, qtype dns.Type, 
 // QueryDNS implements Env.
 func (e *captureEnv) QueryDNS(server netip.Addr, name dns.Name, qtype dns.Type) (*dns.Message, error) {
 	return e.queryVia(server, name, qtype, true)
+}
+
+// QueryDoH implements EncryptedEnv. The resolution rides the same simulated
+// exchange path as QueryDNS — identical answers — but the captured flow is
+// what a network tap would see: opaque TLS application data to port 443.
+func (e *captureEnv) QueryDoH(server netip.Addr, name dns.Name, qtype dns.Type) (*dns.Message, error) {
+	resp, err := e.sb.client.Query(context.Background(),
+		netip.AddrPortFrom(server, dnsio.DNSPort), name, qtype)
+	flow := Flow{
+		Proto: ProtoHTTP, Src: e.sb.victimAddr, Dst: server, DstPort: 443,
+		Payload: "tls1.3 application-data",
+	}
+	rec := DNSRecord{Server: server, Direct: true, Encrypted: true,
+		Question: dns.Question{Name: name, Type: qtype, Class: dns.ClassINET}}
+	if err == nil {
+		flow.Answered = true
+		rec.RCode = resp.Header.RCode
+		rec.Answers = resp.Answers
+	}
+	e.record(flow)
+	e.recordDNS(rec)
+	return resp, err
 }
 
 // ResolveDefault implements Env.

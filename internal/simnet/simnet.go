@@ -152,6 +152,13 @@ func (f *Fabric) SetBaseRTT(d time.Duration) {
 	f.baseRTT.Store(int64(d))
 }
 
+// BaseRTT returns the configured per-exchange virtual round-trip time. The
+// encrypted transport layer derives its modeled handshake and record-framing
+// costs from it.
+func (f *Fabric) BaseRTT() time.Duration {
+	return time.Duration(f.baseRTT.Load())
+}
+
 // SetTrackPacing enables per-destination inter-query gap tracking (see
 // MinSpacing). Tracking costs a time.Now() per exchange, so it is off by
 // default; pacing tests switch it on, the measurement sweep does not pay

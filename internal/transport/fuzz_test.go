@@ -1,0 +1,88 @@
+package transport
+
+import (
+	"bytes"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/dns"
+)
+
+// FuzzDoHParamDecode feeds arbitrary strings to the ?dns= decoder. The
+// contract under fuzz: never panic, and every rejection is one of the typed
+// ErrDoH* errors so the handler can always map it to an HTTP status. Anything
+// accepted must re-encode to the same parameter value (unpadded base64url is
+// a bijection).
+func FuzzDoHParamDecode(f *testing.F) {
+	f.Add("")
+	f.Add("AAE")
+	f.Add("AAE=")
+	f.Add("!!!!")
+	f.Add("00") // decodes despite non-canonical trailing bits
+
+	f.Add(EncodeDoHQuery([]byte{0x12, 0x34, 0x01, 0x00}))
+	f.Add(strings.Repeat("A", 100000))
+	f.Fuzz(func(t *testing.T, v string) {
+		raw, err := DecodeDoHParam(v)
+		if err != nil {
+			if !errors.Is(err, ErrDoHNoQuery) && !errors.Is(err, ErrDoHBadBase64) &&
+				!errors.Is(err, ErrDoHTooLarge) && !errors.Is(err, ErrDoHEmpty) {
+				t.Fatalf("untyped decode error for %q: %v", v, err)
+			}
+			return
+		}
+		if len(raw) == 0 || len(raw) > dns.MaxMessageSize {
+			t.Fatalf("accepted out-of-bounds message: %d bytes", len(raw))
+		}
+		// Re-encoding must produce a value that decodes back to the same
+		// bytes. (Exact string equality would be too strong: the decoder is
+		// lenient about non-zero discarded bits in the final symbol.)
+		again, err := DecodeDoHParam(EncodeDoHQuery(raw))
+		if err != nil || !bytes.Equal(again, raw) {
+			t.Fatalf("re-encode round trip failed for %q: %v", v, err)
+		}
+	})
+}
+
+// FuzzDoHRequestDecode drives the full HTTP request decoder with arbitrary
+// methods, content types, and bodies. Same contract: typed errors only, and
+// every error maps to one of the four statuses the handler can emit.
+func FuzzDoHRequestDecode(f *testing.F) {
+	f.Add("POST", DoHMediaType, []byte{0x12, 0x34, 0x01, 0x00})
+	f.Add("POST", "text/plain", []byte("hi"))
+	f.Add("GET", "", []byte(nil))
+	f.Add("PUT", DoHMediaType, []byte{1})
+	f.Add("POST", DoHMediaType+"; charset=utf-8", []byte{0})
+	f.Fuzz(func(t *testing.T, method, ct string, body []byte) {
+		for _, r := range []rune(method) {
+			// http.NewRequest rejects invalid method characters outright;
+			// the decoder only ever sees requests a server could parse.
+			if r <= ' ' || r >= 0x7f || strings.ContainsRune("()<>@,;:\\\"/[]?={}", r) {
+				return
+			}
+		}
+		if method == "" {
+			return
+		}
+		req := httptest.NewRequest(method, DoHPath+"?dns=x", bytes.NewReader(body))
+		if ct != "" {
+			req.Header.Set("Content-Type", ct)
+		}
+		raw, err := DecodeDoHRequest(req)
+		if err != nil {
+			switch s := dohStatus(err); s {
+			case http.StatusMethodNotAllowed, http.StatusUnsupportedMediaType,
+				http.StatusRequestEntityTooLarge, http.StatusBadRequest:
+			default:
+				t.Fatalf("error %v mapped to unexpected status %d", err, s)
+			}
+			return
+		}
+		if len(raw) == 0 || len(raw) > dns.MaxMessageSize {
+			t.Fatalf("accepted out-of-bounds message: %d bytes", len(raw))
+		}
+	})
+}

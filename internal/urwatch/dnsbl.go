@@ -99,6 +99,13 @@ func (z *ZoneResponder) urwatchSuffix() dns.Name { return "urwatch." + z.Apex }
 // HandleQuery implements dnsio.Responder. Every answer is computed from one
 // Store.Current() load.
 func (z *ZoneResponder) HandleQuery(src netip.Addr, q *dns.Message) *dns.Message {
+	return z.HandleQueryVia(src, q, "udp")
+}
+
+// HandleQueryVia implements dnsio.ViaResponder: the serving logic is
+// transport-blind, but the metrics count each answered query under its wire
+// transport alongside the zone bucket.
+func (z *ZoneResponder) HandleQueryVia(src netip.Addr, q *dns.Message, via string) *dns.Message {
 	if q.Header.OpCode == dns.OpNotify {
 		return z.handleNotify(src, q)
 	}
@@ -109,6 +116,7 @@ func (z *ZoneResponder) HandleQuery(src netip.Addr, q *dns.Message) *dns.Message
 	r, zone := z.answerQuery(src, q)
 	if z.Metrics != nil {
 		z.Metrics.CountQuery(zone, r.Header.RCode)
+		z.Metrics.CountTransport(TransportLabelOf(via), r.Header.RCode)
 		z.Metrics.ObserveDNS(time.Since(t0))
 	}
 	return r

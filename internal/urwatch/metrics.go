@@ -19,6 +19,15 @@ type Metrics struct {
 	refused  [nZoneLabels]atomic.Int64
 	nxdomain [nZoneLabels]atomic.Int64
 
+	// Per-transport views of the same query stream: every answered query
+	// counts once under its zone label and once under its transport label.
+	tQueries [nTransportLabels]atomic.Int64
+	tRefused [nTransportLabels]atomic.Int64
+	// tErrors counts requests that never decoded to a DNS message — today
+	// only the DoH front-end produces these (bad method, media type,
+	// base64, size); the datagram paths drop malformed input silently.
+	tErrors [nTransportLabels]atomic.Int64
+
 	xfrServed  atomic.Int64
 	xfrRefused atomic.Int64
 	notifySent atomic.Int64
@@ -54,6 +63,45 @@ func (l ZoneLabel) String() string {
 	return "other"
 }
 
+// TransportLabel buckets queries by the wire transport they arrived over.
+type TransportLabel uint8
+
+// Transport labels.
+const (
+	TransportUDP TransportLabel = iota
+	TransportTCP
+	TransportDoT
+	TransportDoH
+	nTransportLabels
+)
+
+// String returns the label's Prometheus value.
+func (l TransportLabel) String() string {
+	switch l {
+	case TransportTCP:
+		return "tcp"
+	case TransportDoT:
+		return "dot"
+	case TransportDoH:
+		return "doh"
+	}
+	return "udp"
+}
+
+// TransportLabelOf maps a dnsio via string ("udp", "tcp", "dot", "doh") onto
+// its label; unknown strings count as udp, the datagram default.
+func TransportLabelOf(via string) TransportLabel {
+	switch via {
+	case "tcp":
+		return TransportTCP
+	case "dot":
+		return TransportDoT
+	case "doh":
+		return TransportDoH
+	}
+	return TransportUDP
+}
+
 // metricsLatencyRange bounds the latency histograms at 100ms — far past any
 // in-process serving path; slower samples clamp to the range maximum.
 const metricsLatencyRange = 100_000
@@ -77,6 +125,27 @@ func (m *Metrics) CountQuery(zone ZoneLabel, rcode dns.RCode) {
 		m.refused[zone].Add(1)
 	case dns.RCodeNXDomain:
 		m.nxdomain[zone].Add(1)
+	}
+}
+
+// CountTransport records one answered DNS query by wire transport and
+// response code — the second axis of the same query stream CountQuery
+// bucketed by zone.
+func (m *Metrics) CountTransport(t TransportLabel, rcode dns.RCode) {
+	if m == nil {
+		return
+	}
+	m.tQueries[t].Add(1)
+	if rcode == dns.RCodeRefused {
+		m.tRefused[t].Add(1)
+	}
+}
+
+// CountTransportError records one request that never decoded to a DNS
+// message on the given transport.
+func (m *Metrics) CountTransportError(t TransportLabel) {
+	if m != nil {
+		m.tErrors[t].Add(1)
 	}
 }
 
@@ -128,15 +197,26 @@ func (m *Metrics) WriteProm(w io.Writer, store *Store, cache *ResponseCache, now
 	st := store.Staleness(now)
 	g := store.Current()
 
-	fmt.Fprintf(w, "# HELP urwatch_dns_queries_total DNS queries answered, by feed subtree.\n")
+	fmt.Fprintf(w, "# HELP urwatch_dns_queries_total DNS queries answered, by feed subtree and by wire transport.\n")
 	fmt.Fprintf(w, "# TYPE urwatch_dns_queries_total counter\n")
 	for l := ZoneLabel(0); l < nZoneLabels; l++ {
 		fmt.Fprintf(w, "urwatch_dns_queries_total{zone=%q} %d\n", l, m.counter(&m.queries, l))
 	}
-	fmt.Fprintf(w, "# HELP urwatch_dns_refused_total REFUSED answers, by feed subtree.\n")
+	for t := TransportLabel(0); t < nTransportLabels; t++ {
+		fmt.Fprintf(w, "urwatch_dns_queries_total{transport=%q} %d\n", t, m.tcounter(&m.tQueries, t))
+	}
+	fmt.Fprintf(w, "# HELP urwatch_dns_refused_total REFUSED answers, by feed subtree and by wire transport.\n")
 	fmt.Fprintf(w, "# TYPE urwatch_dns_refused_total counter\n")
 	for l := ZoneLabel(0); l < nZoneLabels; l++ {
 		fmt.Fprintf(w, "urwatch_dns_refused_total{zone=%q} %d\n", l, m.counter(&m.refused, l))
+	}
+	for t := TransportLabel(0); t < nTransportLabels; t++ {
+		fmt.Fprintf(w, "urwatch_dns_refused_total{transport=%q} %d\n", t, m.tcounter(&m.tRefused, t))
+	}
+	fmt.Fprintf(w, "# HELP urwatch_dns_transport_errors_total Requests that never decoded to a DNS message, by wire transport.\n")
+	fmt.Fprintf(w, "# TYPE urwatch_dns_transport_errors_total counter\n")
+	for t := TransportLabel(0); t < nTransportLabels; t++ {
+		fmt.Fprintf(w, "urwatch_dns_transport_errors_total{transport=%q} %d\n", t, m.tcounter(&m.tErrors, t))
 	}
 	fmt.Fprintf(w, "# HELP urwatch_dns_nxdomain_total NXDOMAIN answers, by feed subtree.\n")
 	fmt.Fprintf(w, "# TYPE urwatch_dns_nxdomain_total counter\n")
@@ -215,6 +295,14 @@ func (m *Metrics) httpHist() *LatencyHistogram {
 
 // counter reads one labeled counter, nil-safe.
 func (m *Metrics) counter(arr *[nZoneLabels]atomic.Int64, l ZoneLabel) int64 {
+	if m == nil {
+		return 0
+	}
+	return arr[l].Load()
+}
+
+// tcounter reads one transport-labeled counter, nil-safe.
+func (m *Metrics) tcounter(arr *[nTransportLabels]atomic.Int64, l TransportLabel) int64 {
 	if m == nil {
 		return 0
 	}

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/scenario"
+	"repro/internal/transport"
 )
 
 // Scale sizes a generated world; see the constructors below.
@@ -73,6 +74,27 @@ func NewPipeline(w *World) *core.Pipeline {
 	return core.NewPipeline(w.URHunterConfig())
 }
 
+// ValidateTransport checks a wire-transport name ("", "udp", "tcp", "dot",
+// "doh"); the empty string is the udp default. CLIs call this before building
+// pipelines so a typo fails at flag parse, not mid-sweep.
+func ValidateTransport(kind string) error {
+	_, err := transport.ParseKind(kind)
+	return err
+}
+
+// NewPipelineTransport is NewPipeline with the sweep carried over the given
+// wire transport. Reports are byte-identical across transports — only the
+// virtual-clock accounting and the failure books differ — so the choice is
+// an operational one, not a measurement one.
+func NewPipelineTransport(w *World, kind string) (*core.Pipeline, error) {
+	if err := ValidateTransport(kind); err != nil {
+		return nil, err
+	}
+	cfg := w.URHunterConfig()
+	cfg.TransportKind = kind
+	return core.NewPipeline(cfg), nil
+}
+
 // Journal is a sweep checkpoint store: per-worker append-only segment files
 // plus a manifest binding them to one (seed, plan) identity.
 type Journal = core.Journal
@@ -86,7 +108,20 @@ type JournalOptions = core.JournalOptions
 // resumed run's report is byte-identical to an uninterrupted one. Close the
 // returned Journal after the run.
 func NewJournaledPipeline(w *World, dir string, opts JournalOptions) (*core.Pipeline, *Journal, error) {
+	return NewJournaledPipelineTransport(w, "", dir, opts)
+}
+
+// NewJournaledPipelineTransport is NewJournaledPipeline over a chosen wire
+// transport. The transport is set before the journal opens: manifests record
+// it, and resuming a directory swept over a different transport fails with
+// the cross-transport mismatch error rather than mixing incomparable failure
+// books.
+func NewJournaledPipelineTransport(w *World, kind, dir string, opts JournalOptions) (*core.Pipeline, *Journal, error) {
+	if err := ValidateTransport(kind); err != nil {
+		return nil, nil, err
+	}
 	cfg := w.URHunterConfig()
+	cfg.TransportKind = kind
 	j, err := core.OpenJournal(dir, cfg, opts)
 	if err != nil {
 		return nil, nil, err
